@@ -1,0 +1,90 @@
+// Command layoutview renders Figure 2-style i-cache footprint maps for any
+// stack, version and clone strategy, plus a placement listing — a direct
+// window into what the layout techniques actually do to the address space.
+//
+// Usage:
+//
+//	layoutview -stack tcpip -version CLO
+//	layoutview -stack rpc -version BAD -list
+//	layoutview -stack tcpip -version CLO -strategy micro
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/protocols/features"
+)
+
+func main() {
+	var (
+		stack    = flag.String("stack", "tcpip", "stack: tcpip or rpc")
+		version  = flag.String("version", "CLO", "version: BAD STD OUT CLO PIN ALL")
+		strategy = flag.String("strategy", "bipartite", "clone layout: bipartite, micro, or linear")
+		list     = flag.Bool("list", false, "print the function placement listing instead of the map")
+	)
+	flag.Parse()
+
+	kind := core.StackTCPIP
+	if strings.EqualFold(*stack, "rpc") {
+		kind = core.StackRPC
+	}
+	var ver core.Version
+	found := false
+	for _, v := range core.Versions() {
+		if strings.EqualFold(v.String(), *version) {
+			ver, found = v, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown version %q\n", *version)
+		os.Exit(2)
+	}
+	strat := core.Bipartite
+	switch strings.ToLower(*strategy) {
+	case "micro", "micro-positioning":
+		strat = core.MicroPosition
+	case "linear":
+		strat = core.LinearLayout
+	}
+
+	m := arch.DEC3000_600()
+	prog, err := core.BuildProgram(kind, ver, features.Improved(), strat, m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "layoutview:", err)
+		os.Exit(1)
+	}
+
+	if *list {
+		type row struct {
+			name      string
+			addr, end uint64
+			mainline  int
+		}
+		var rows []row
+		for _, f := range prog.Funcs() {
+			if a, ok := prog.EntryAddr(f.Name); ok {
+				rows = append(rows, row{f.Name, a, prog.Placement(f.Name).End(), f.MainlineInstrs()})
+			}
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].addr < rows[j].addr })
+		fmt.Printf("%-22s %12s %12s %10s %10s\n", "function", "entry", "end", "set-off", "mainline")
+		for _, r := range rows {
+			fmt.Printf("%-22s %#12x %#12x %#10x %10d\n",
+				r.name, r.addr, r.end, r.addr%uint64(m.ICacheBytes), r.mainline)
+		}
+		return
+	}
+
+	fmt.Printf("%v / %v (%v clone layout)\n\n", kind, ver, strat)
+	fmt.Print(layout.Footprint(prog, nil, m))
+	hot, cold, gap := layout.FootprintStats(prog, nil, m)
+	fmt.Printf("\nmainline %d blocks (%d KB), outlined %d blocks, gaps %d blocks\n",
+		hot, hot*m.BlockBytes/1024, cold, gap)
+}

@@ -1,0 +1,141 @@
+// Command protolat regenerates the tables and figures of "Analysis of
+// Techniques to Improve Protocol Processing Latency" from the simulated
+// apparatus in this repository.
+//
+// Usage:
+//
+//	protolat                     # everything, quick quality
+//	protolat -quality paper      # everything, paper-scale sampling
+//	protolat -table 4            # one table (1..9; 4 and 5 print together)
+//	protolat -figure 2           # one figure (1 or 2)
+//	protolat -stack rpc -version ALL -samples 5   # one configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "print one table (1..9); 0 = all")
+		figure   = flag.Int("figure", 0, "print one figure (1 or 2); 0 = per -table setting")
+		quality  = flag.String("quality", "quick", "measurement effort: quick or paper")
+		stack    = flag.String("stack", "", "run a single configuration: tcpip or rpc")
+		version  = flag.String("version", "ALL", "version for -stack: BAD STD OUT CLO PIN ALL")
+		samples  = flag.Int("samples", 3, "samples for -stack runs")
+		classify = flag.Bool("classifier", false, "charge packet-classifier cost on PIN/ALL")
+		tput     = flag.Bool("throughput", false, "run the throughput check instead of tables")
+		sens     = flag.String("sensitivity", "", "run a sensitivity sweep: cache, machine, or assoc")
+		mconn    = flag.Bool("multiconn", false, "run the connection-time cloning experiment")
+	)
+	flag.Parse()
+
+	q := repro.Quick
+	if *quality == "paper" {
+		q = repro.PaperQuality
+	}
+
+	if *tput {
+		emit(repro.ThroughputTable(40, 1400))
+		return
+	}
+	if *mconn {
+		emit(repro.MultiConnectionTable(32))
+		return
+	}
+	if *sens != "" {
+		kind := repro.StackTCPIP
+		if strings.EqualFold(*stack, "rpc") {
+			kind = repro.StackRPC
+		}
+		switch *sens {
+		case "machine":
+			emit(repro.Sensitivity(kind, repro.MachineSweep(), q))
+		case "assoc":
+			emit(repro.SensitivityVersions(kind, repro.BAD, repro.ALL, repro.AssocSweep(), q))
+		default:
+			emit(repro.Sensitivity(kind, repro.CacheSweep(), q))
+		}
+		return
+	}
+	if *stack != "" {
+		runOne(*stack, *version, *samples, *classify, q)
+		return
+	}
+
+	switch {
+	case *figure == 1:
+		emit(repro.Figure1())
+	case *figure == 2:
+		emit(repro.Figure2())
+	case *table == 1:
+		emit(repro.Table1(q))
+	case *table == 2:
+		emit(repro.Table2(q))
+	case *table == 3:
+		emit(repro.Table3(q))
+	case *table >= 4 && *table <= 9:
+		tcpip, err := repro.RunVersions(repro.StackTCPIP, q)
+		check(err)
+		rpc, err := repro.RunVersions(repro.StackRPC, q)
+		check(err)
+		switch *table {
+		case 4, 5:
+			fmt.Println(repro.Table45(tcpip, rpc))
+		case 6:
+			fmt.Println(repro.Table6(tcpip, rpc))
+		case 7:
+			fmt.Println(repro.Table7(tcpip, rpc))
+		case 8:
+			fmt.Println(repro.Table8(tcpip, rpc))
+		case 9:
+			fmt.Println(repro.Table9(tcpip, rpc))
+		}
+	default:
+		emit(repro.RenderAll(q))
+	}
+}
+
+func runOne(stack, version string, samples int, classify bool, q repro.Quality) {
+	kind := repro.StackTCPIP
+	if strings.EqualFold(stack, "rpc") {
+		kind = repro.StackRPC
+	}
+	var ver repro.Version
+	found := false
+	for _, v := range repro.Versions() {
+		if strings.EqualFold(v.String(), version) {
+			ver, found = v, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown version %q\n", version)
+		os.Exit(2)
+	}
+	cfg := repro.DefaultConfig(kind, ver)
+	cfg.Warmup, cfg.Measured, cfg.Samples = q.Warmup, q.Measured, samples
+	cfg.UseClassifier = classify
+	res, err := repro.Run(cfg)
+	check(err)
+	s := res.First()
+	fmt.Printf("%v %v: Te %.1f +- %.2f us | Tp %.1f us | %0.f instrs | CPI %.2f (iCPI %.2f, mCPI %.2f)\n",
+		kind, ver, res.TeMeanUS, res.TeStdUS, s.TpUS, s.TraceLen, s.CPI, s.ICPI, s.MCPI)
+	fmt.Printf("  i-cache %v | d-cache/wb %v | b-cache %v\n", s.ICache, s.DCache, s.BCache)
+}
+
+func emit(s string, err error) {
+	check(err)
+	fmt.Println(s)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "protolat:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,114 @@
+// Command tracesim records protocol instruction traces and replays them
+// against arbitrary memory-system geometries — the workflow behind the
+// paper's trace-based analysis (Tables 6 and 7) and its closing argument
+// that the techniques matter more as the processor/memory gap widens.
+//
+// Usage:
+//
+//	tracesim -record -stack tcpip -version ALL -o all.trace
+//	tracesim -replay all.trace -icache 16 -memcycles 92
+//	tracesim -sweep cache -stack tcpip      # i-cache size sweep
+//	tracesim -sweep machine -stack rpc      # DEC 3000/600 vs 266MHz future box
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		record   = flag.Bool("record", false, "record a trace")
+		replay   = flag.String("replay", "", "replay a trace file")
+		sweep    = flag.String("sweep", "", "run a sweep: cache or machine")
+		stack    = flag.String("stack", "tcpip", "stack: tcpip or rpc")
+		version  = flag.String("version", "ALL", "version: BAD STD OUT CLO PIN ALL")
+		out      = flag.String("o", "", "output file for -record (default stdout)")
+		icacheKB = flag.Int("icache", 8, "replay i-cache size in KB")
+		memCyc   = flag.Int("memcycles", 40, "replay main-memory latency in cycles")
+		bhitCyc  = flag.Int("bcachecycles", 10, "replay b-cache hit latency in cycles")
+	)
+	flag.Parse()
+
+	switch {
+	case *record:
+		cfg := buildCfg(*stack, *version)
+		t, err := core.RecordTrace(cfg)
+		check(err)
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			check(err)
+			defer f.Close()
+			w = f
+		}
+		check(t.Write(w))
+		fmt.Fprintf(os.Stderr, "recorded %d instructions (%d taken branches)\n", t.Len(), t.TakenBranches())
+
+	case *replay != "":
+		f, err := os.Open(*replay)
+		check(err)
+		defer f.Close()
+		t, err := trace.Read(f)
+		check(err)
+		m := arch.DEC3000_600()
+		m.ICacheBytes = *icacheKB * 1024
+		m.MemoryCycles = *memCyc
+		m.BCacheHitCycles = *bhitCyc
+		metrics, h, err := trace.Replay(t, m)
+		check(err)
+		fmt.Printf("%d instructions on %dKB i-cache / %d-cycle memory:\n", metrics.Instructions, *icacheKB, *memCyc)
+		fmt.Printf("  CPI %.2f  iCPI %.2f  mCPI %.2f\n", metrics.CPI(), metrics.ICPI(), metrics.MCPI())
+		fmt.Printf("  i-cache %v\n  d-cache/wb %v\n  b-cache %v\n", h.IStats, h.DStats, h.BStats)
+		instrs, blocks := t.Footprint(m.BlockBytes)
+		fmt.Printf("  footprint: %d static instructions over %d blocks\n", instrs, blocks)
+
+	case *sweep != "":
+		kind := kindOf(*stack)
+		pts := core.CacheSweep()
+		if *sweep == "machine" {
+			pts = core.MachineSweep()
+		}
+		s, err := core.Sensitivity(kind, pts, core.Quick)
+		check(err)
+		fmt.Println(s)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func kindOf(stack string) core.StackKind {
+	if strings.EqualFold(stack, "rpc") {
+		return core.StackRPC
+	}
+	return core.StackTCPIP
+}
+
+func buildCfg(stack, version string) core.Config {
+	kind := kindOf(stack)
+	for _, v := range core.Versions() {
+		if strings.EqualFold(v.String(), version) {
+			cfg := core.DefaultConfig(kind, v)
+			cfg.Warmup, cfg.Measured, cfg.Samples = 4, 6, 1
+			return cfg
+		}
+	}
+	fmt.Fprintf(os.Stderr, "unknown version %q\n", version)
+	os.Exit(2)
+	return core.Config{}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracesim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,42 @@
+// Latency sweep: regenerate the Table 4/5 measurement for both protocol
+// stacks and all six configurations, including the packet-classifier cost
+// that the path-inlined versions (PIN, ALL) would pay in production — the
+// paper reports them with a zero-overhead classifier, and this example
+// shows both.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	for _, kind := range []repro.StackKind{repro.StackTCPIP, repro.StackRPC} {
+		fmt.Printf("%v 1-byte ping-pong, end-to-end roundtrip latency\n", kind)
+		fmt.Printf("%-5s %14s %14s %16s\n", "vers", "Te [us]", "adjusted [us]", "with classifier")
+		for _, v := range repro.Versions() {
+			cfg := repro.DefaultConfig(kind, v)
+			cfg.Samples = 3
+			res, err := repro.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			withCl := "-"
+			if v == repro.PIN || v == repro.ALL {
+				clCfg := cfg
+				clCfg.UseClassifier = true
+				clRes, err := repro.Run(clCfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				withCl = fmt.Sprintf("%.1f (+%.1f)", clRes.TeMeanUS, clRes.TeMeanUS-res.TeMeanUS)
+			}
+			fmt.Printf("%-5v %9.1f+-%-4.2f %14.1f %16s\n", v, res.TeMeanUS, res.TeStdUS, res.TeMeanUS-210, withCl)
+		}
+		fmt.Println()
+	}
+	fmt.Println("The adjusted column subtracts the 2 x 105 us LANCE controller latency,")
+	fmt.Println("as the paper's Table 5 does, to expose the processing-time differences.")
+}

@@ -1,0 +1,201 @@
+// Package arch describes the simulated machine: a DEC Alpha 21064-class
+// dual-issue RISC CPU with a split first-level cache, a unified board-level
+// cache (b-cache) and a small write-merging write buffer, as found in the
+// DEC 3000/600 workstations the paper measures.
+//
+// The package is purely descriptive: it defines the instruction classes that
+// code models are written in (package internal/code) and the machine
+// parameters the simulators consume (package internal/sim). Nothing here
+// executes.
+package arch
+
+import "fmt"
+
+// Op is the class of a simulated instruction. The cycle accounting of the
+// paper distinguishes instructions only by their memory behaviour and a few
+// long-latency arithmetic classes, so the ISA is abstracted to those classes
+// rather than full Alpha opcodes.
+type Op uint8
+
+const (
+	// OpALU is a single-cycle integer operation (add, sub, logical, shift,
+	// compare, lda). The bulk of protocol code falls in this class.
+	OpALU Op = iota
+	// OpLoad reads memory through the d-cache.
+	OpLoad
+	// OpStore writes memory through the write buffer (the d-cache is
+	// write-through and allocates on read misses only).
+	OpStore
+	// OpCondBr is a conditional branch. Cost depends on whether it is
+	// taken; the simulator learns the outcome from the trace.
+	OpCondBr
+	// OpBr is an unconditional PC-relative branch (always taken).
+	OpBr
+	// OpJump is an indirect jump (jsr/ret through a register). Always
+	// taken, and additionally defeats sequential instruction prefetch.
+	OpJump
+	// OpMul is an integer multiply; the 21064 multiplier is not pipelined
+	// with the rest of the integer unit and costs ~21 cycles.
+	OpMul
+	// OpNop is a scheduling or alignment filler.
+	OpNop
+
+	numOps
+)
+
+var opNames = [numOps]string{"alu", "load", "store", "condbr", "br", "jump", "mul", "nop"}
+
+// String returns the lower-case mnemonic class name.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsBranch reports whether the op redirects control flow when taken.
+func (o Op) IsBranch() bool { return o == OpCondBr || o == OpBr || o == OpJump }
+
+// AccessesMemory reports whether the op issues a data-memory access.
+func (o Op) AccessesMemory() bool { return o == OpLoad || o == OpStore }
+
+// Machine collects the parameters of the simulated DEC 3000/600.
+//
+// All sizes are in bytes and all latencies in CPU cycles. The zero value is
+// not useful; use DEC3000_600 (the paper's platform) or derive a variant
+// from it.
+type Machine struct {
+	// ClockMHz is the CPU clock; the 21064 in the DEC 3000/600 runs at
+	// 175 MHz, so one microsecond is 175 cycles.
+	ClockMHz float64
+
+	// IssueWidth is the superscalar issue width (2 on the 21064).
+	IssueWidth int
+
+	// TakenBranchCycles is the pipeline penalty charged for each taken
+	// branch or jump. The paper's CPU simulator "adds a fixed penalty for
+	// each taken branch".
+	TakenBranchCycles int
+
+	// MulCycles is the latency of an integer multiply.
+	MulCycles int
+
+	// InstrBytes is the encoded size of one instruction (4 on Alpha).
+	InstrBytes int
+
+	// ICacheBytes and DCacheBytes are the split first-level cache sizes
+	// (8 KB each), BCacheBytes the unified second-level cache (2 MB).
+	ICacheBytes int
+	DCacheBytes int
+	BCacheBytes int
+
+	// BlockBytes is the cache block size used by all caches (32 B, i.e.
+	// 8 instructions per i-cache block).
+	BlockBytes int
+
+	// Assoc is the set associativity of the first-level caches: 1 on the
+	// 21064 (direct-mapped), higher values model the what-if ablation of
+	// replacing conflict misses with LRU victim selection. The b-cache
+	// stays direct-mapped.
+	Assoc int
+
+	// WriteBufferEntries is the depth of the write buffer; each entry
+	// holds one cache block and performs write merging.
+	WriteBufferEntries int
+
+	// BCacheHitCycles is the stall observed by the CPU for a first-level
+	// miss that hits in the b-cache (~10 cycles on the DEC 3000/600).
+	BCacheHitCycles int
+
+	// PrefetchHitCycles is the reduced stall for an i-cache miss whose
+	// block was sequentially prefetched into the stream buffer. The
+	// 21064 fetches ahead on the b-cache path, which is why the paper's
+	// sequential (bipartite/linear) layouts beat micro-positioning.
+	PrefetchHitCycles int
+
+	// MemoryCycles is the stall for an access that misses in the b-cache
+	// and goes to main memory.
+	MemoryCycles int
+
+	// WriteRetireCycles is how long the b-cache is busy retiring one
+	// write-buffer entry; a store issued while the buffer is full stalls
+	// until an entry drains.
+	WriteRetireCycles int
+}
+
+// DEC3000_600 is the machine measured in the paper: a 175 MHz Alpha 21064
+// with 8 KB direct-mapped split i/d caches, 32-byte blocks, a 4-deep
+// write-merging write buffer and a 2 MB direct-mapped b-cache.
+func DEC3000_600() Machine {
+	return Machine{
+		ClockMHz:           175,
+		Assoc:              1,
+		IssueWidth:         2,
+		TakenBranchCycles:  4,
+		MulCycles:          21,
+		InstrBytes:         4,
+		ICacheBytes:        8 * 1024,
+		DCacheBytes:        8 * 1024,
+		BCacheBytes:        2 * 1024 * 1024,
+		BlockBytes:         32,
+		WriteBufferEntries: 4,
+		BCacheHitCycles:    10,
+		PrefetchHitCycles:  5,
+		MemoryCycles:       40,
+		WriteRetireCycles:  6,
+	}
+}
+
+// Future266 is the machine the paper's concluding remarks point at: "we
+// now also have in our lab a low-cost 266 MHz processor with a 66 MB/s
+// memory system". The CPU is 1.5x faster while the memory is slower in
+// absolute terms, so every memory-latency parameter grows by roughly the
+// product of the two — the widening processor/memory gap that makes the
+// paper's mCPI-reducing techniques increasingly important.
+func Future266() Machine {
+	m := DEC3000_600()
+	m.ClockMHz = 266
+	m.BCacheHitCycles = 23   // 10 cycles at 175 MHz scaled by clock and bandwidth
+	m.PrefetchHitCycles = 8  // stream-buffer fill scales with the b-cache port
+	m.MemoryCycles = 92      // 40 cycles' worth of DRAM time, 1.5x slower, at 266 MHz
+	m.WriteRetireCycles = 14 // write port scales with the b-cache
+	return m
+}
+
+// CyclesPerMicrosecond converts between the virtual-time domains.
+func (m Machine) CyclesPerMicrosecond() float64 { return m.ClockMHz }
+
+// MicrosecondsFor converts a cycle count to microseconds on this machine.
+func (m Machine) MicrosecondsFor(cycles uint64) float64 {
+	return float64(cycles) / m.ClockMHz
+}
+
+// InstrPerBlock is the number of instructions held by one i-cache block.
+func (m Machine) InstrPerBlock() int { return m.BlockBytes / m.InstrBytes }
+
+// Validate checks the machine description for internal consistency.
+func (m Machine) Validate() error {
+	switch {
+	case m.ClockMHz <= 0:
+		return fmt.Errorf("arch: clock must be positive, got %v", m.ClockMHz)
+	case m.IssueWidth < 1:
+		return fmt.Errorf("arch: issue width must be >= 1, got %d", m.IssueWidth)
+	case m.InstrBytes <= 0:
+		return fmt.Errorf("arch: instruction size must be positive, got %d", m.InstrBytes)
+	case m.BlockBytes <= 0 || m.BlockBytes%m.InstrBytes != 0:
+		return fmt.Errorf("arch: block size %d not a multiple of instruction size %d", m.BlockBytes, m.InstrBytes)
+	case m.ICacheBytes <= 0 || m.ICacheBytes%m.BlockBytes != 0:
+		return fmt.Errorf("arch: i-cache size %d not a multiple of block size %d", m.ICacheBytes, m.BlockBytes)
+	case m.DCacheBytes <= 0 || m.DCacheBytes%m.BlockBytes != 0:
+		return fmt.Errorf("arch: d-cache size %d not a multiple of block size %d", m.DCacheBytes, m.BlockBytes)
+	case m.BCacheBytes <= 0 || m.BCacheBytes%m.BlockBytes != 0:
+		return fmt.Errorf("arch: b-cache size %d not a multiple of block size %d", m.BCacheBytes, m.BlockBytes)
+	case m.WriteBufferEntries < 1:
+		return fmt.Errorf("arch: write buffer needs at least one entry, got %d", m.WriteBufferEntries)
+	case m.Assoc < 1:
+		return fmt.Errorf("arch: associativity must be >= 1, got %d", m.Assoc)
+	case (m.ICacheBytes/m.BlockBytes)%m.Assoc != 0 || (m.DCacheBytes/m.BlockBytes)%m.Assoc != 0:
+		return fmt.Errorf("arch: cache blocks not divisible by associativity %d", m.Assoc)
+	}
+	return nil
+}

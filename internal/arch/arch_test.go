@@ -1,0 +1,81 @@
+package arch
+
+import "testing"
+
+func TestDEC3000_600Valid(t *testing.T) {
+	m := DEC3000_600()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("reference machine invalid: %v", err)
+	}
+	if got := m.InstrPerBlock(); got != 8 {
+		t.Errorf("InstrPerBlock = %d, want 8 (32-byte blocks, 4-byte instructions)", got)
+	}
+	if got := m.CyclesPerMicrosecond(); got != 175 {
+		t.Errorf("CyclesPerMicrosecond = %v, want 175", got)
+	}
+}
+
+func TestMicrosecondsFor(t *testing.T) {
+	m := DEC3000_600()
+	if got := m.MicrosecondsFor(175); got != 1 {
+		t.Errorf("175 cycles = %v us, want 1", got)
+	}
+	if got := m.MicrosecondsFor(0); got != 0 {
+		t.Errorf("0 cycles = %v us, want 0", got)
+	}
+}
+
+func TestValidateRejectsBadMachines(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*Machine)
+	}{
+		{"zero clock", func(m *Machine) { m.ClockMHz = 0 }},
+		{"zero issue", func(m *Machine) { m.IssueWidth = 0 }},
+		{"zero instr size", func(m *Machine) { m.InstrBytes = 0 }},
+		{"block not multiple of instr", func(m *Machine) { m.BlockBytes = 30 }},
+		{"icache not multiple of block", func(m *Machine) { m.ICacheBytes = 1000 }},
+		{"dcache not multiple of block", func(m *Machine) { m.DCacheBytes = 33 }},
+		{"bcache not multiple of block", func(m *Machine) { m.BCacheBytes = 100 }},
+		{"no write buffer", func(m *Machine) { m.WriteBufferEntries = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := DEC3000_600()
+			tc.mod(&m)
+			if err := m.Validate(); err == nil {
+				t.Errorf("Validate accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	branches := []Op{OpCondBr, OpBr, OpJump}
+	for _, op := range branches {
+		if !op.IsBranch() {
+			t.Errorf("%v.IsBranch() = false, want true", op)
+		}
+	}
+	nonBranches := []Op{OpALU, OpLoad, OpStore, OpMul, OpNop}
+	for _, op := range nonBranches {
+		if op.IsBranch() {
+			t.Errorf("%v.IsBranch() = true, want false", op)
+		}
+	}
+	if !OpLoad.AccessesMemory() || !OpStore.AccessesMemory() {
+		t.Error("loads and stores must access memory")
+	}
+	if OpALU.AccessesMemory() || OpBr.AccessesMemory() {
+		t.Error("ALU ops and branches must not access memory")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpALU.String() != "alu" || OpJump.String() != "jump" {
+		t.Errorf("unexpected mnemonics: %v %v", OpALU, OpJump)
+	}
+	if Op(200).String() == "" {
+		t.Error("out-of-range op must still stringify")
+	}
+}

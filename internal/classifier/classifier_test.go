@@ -1,0 +1,107 @@
+package classifier
+
+import (
+	"testing"
+
+	"repro/internal/protocols/wire"
+)
+
+// tcpFastFrame builds a frame the TCP/IP fast-path classifier must accept.
+func tcpFastFrame() []byte {
+	f := make([]byte, 60)
+	f[12], f[13] = 0x08, 0x00 // ethertype IP
+	f[14] = 0x45              // IPv4, 20-byte header
+	f[23] = wire.IPProtoTCP
+	f[46] = 0x50 // 20-byte TCP header
+	return f
+}
+
+func TestForTCPIPAcceptsFastPath(t *testing.T) {
+	cl := ForTCPIP()
+	ok, cycles := cl.Match(tcpFastFrame())
+	if !ok {
+		t.Fatal("fast-path frame rejected")
+	}
+	if cycles == 0 {
+		t.Fatal("classification must cost cycles")
+	}
+	// The paper cites 1-4 us per packet; the default model sits at the
+	// low end.
+	us := float64(cycles) / 175
+	if us < 0.2 || us > 4 {
+		t.Fatalf("classifier cost %.2f us outside the paper's range", us)
+	}
+}
+
+func TestForTCPIPRejectsOffPathFrames(t *testing.T) {
+	cases := map[string]func([]byte){
+		"wrong ethertype": func(f []byte) { f[13] = 0x06 },
+		"ip options":      func(f []byte) { f[14] = 0x46 },
+		"fragmented":      func(f []byte) { f[21] = 0x10 },
+		"udp":             func(f []byte) { f[23] = 17 },
+		"tcp options":     func(f []byte) { f[46] = 0x60 },
+	}
+	for name, mut := range cases {
+		f := tcpFastFrame()
+		mut(f)
+		cl := ForTCPIP()
+		if ok, _ := cl.Match(f); ok {
+			t.Errorf("%s: accepted", name)
+		}
+		if cl.Misses != 1 {
+			t.Errorf("%s: misses = %d", name, cl.Misses)
+		}
+	}
+}
+
+func TestForRPCAcceptsSingleFragment(t *testing.T) {
+	f := make([]byte, 60)
+	f[12], f[13] = 0x88, 0xb5 // ethertype XRPC
+	f[21] = 0x01              // NumFrags = 1
+	f[25] = 0x01              // proto = BID
+	cl := ForRPC()
+	if ok, _ := cl.Match(f); !ok {
+		t.Fatal("single-fragment RPC frame rejected")
+	}
+	f[21] = 0x03 // multi-fragment: must take the general path
+	if ok, _ := cl.Match(f); ok {
+		t.Fatal("multi-fragment frame accepted by the fast path")
+	}
+}
+
+func TestTruncatedFrameRejected(t *testing.T) {
+	cl := ForTCPIP()
+	if ok, _ := cl.Match(make([]byte, 10)); ok {
+		t.Fatal("runt frame accepted")
+	}
+}
+
+func TestMaskedComparison(t *testing.T) {
+	cl := New(Check{Off: 0, Want: []byte{0x40}, Mask: []byte{0xf0}})
+	if ok, _ := cl.Match([]byte{0x4A}); !ok {
+		t.Fatal("mask not applied")
+	}
+	if ok, _ := cl.Match([]byte{0x5A}); ok {
+		t.Fatal("masked mismatch accepted")
+	}
+}
+
+func TestCostGrowsWithChecks(t *testing.T) {
+	small := New(Check{Off: 0, Want: []byte{1}})
+	big := New(
+		Check{Off: 0, Want: []byte{1}},
+		Check{Off: 1, Want: []byte{2, 3, 4, 5}},
+	)
+	frame := []byte{1, 2, 3, 4, 5}
+	_, c1 := small.Match(frame)
+	_, c2 := big.Match(frame)
+	if c2 <= c1 {
+		t.Fatalf("more predicates must cost more: %d vs %d", c1, c2)
+	}
+	if small.NumChecks() != 1 || big.NumChecks() != 2 {
+		t.Fatal("NumChecks")
+	}
+	if small.String() == "" {
+		t.Fatal("String")
+	}
+}

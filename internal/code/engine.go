@@ -1,0 +1,163 @@
+package code
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/sim/cpu"
+)
+
+// maxCallDepth bounds model recursion; protocol stacks in the paper are at
+// most a dozen deep, so hitting this indicates a cycle in the call graph.
+const maxCallDepth = 64
+
+// Engine executes code models against the CPU/memory simulator. One engine
+// serves one host; its Program must be fully placed (Link or FinishLayout)
+// before Run is called.
+type Engine struct {
+	cpu  *cpu.CPU
+	prog *Program
+	// Observer, when non-nil, sees every emitted trace entry; the
+	// experiment harness uses it for coverage analysis (Table 9) and for
+	// the trace files that micro-positioning consumes.
+	Observer func(cpu.Entry)
+}
+
+// NewEngine returns an engine executing prog on c.
+func NewEngine(c *cpu.CPU, prog *Program) *Engine {
+	return &Engine{cpu: c, prog: prog}
+}
+
+// CPU returns the attached CPU.
+func (e *Engine) CPU() *cpu.CPU { return e.cpu }
+
+// Program returns the program under execution.
+func (e *Engine) Program() *Program { return e.prog }
+
+// SetProgram swaps the program (used when an experiment re-links with a
+// different layout while keeping the simulated machine state).
+func (e *Engine) SetProgram(p *Program) { e.prog = p }
+
+// Run executes the named function's model under env.
+func (e *Engine) Run(fn string, env Env) error {
+	if env == nil {
+		env = NewBinding(nil)
+	}
+	return e.call(fn, env, 0)
+}
+
+// MustRun is Run for callers that treat a model error as a bug.
+func (e *Engine) MustRun(fn string, env Env) {
+	if err := e.Run(fn, env); err != nil {
+		panic(fmt.Sprintf("code: MustRun(%s): %v", fn, err))
+	}
+}
+
+func (e *Engine) step(entry cpu.Entry) {
+	if e.Observer != nil {
+		e.Observer(entry)
+	}
+	e.cpu.Step(entry)
+}
+
+// dataAddr resolves the effective address of a load/store operand.
+func (e *Engine) dataAddr(env Env, in Instr) uint64 {
+	if base, ok := env.Addr(in.Data); ok {
+		return base + uint64(in.Off)
+	}
+	if base, ok := e.prog.DataAddr(in.Data); ok {
+		return base + uint64(in.Off)
+	}
+	// Unnamed operand: model it as a stack-frame access.
+	if base, ok := env.Addr("$stack"); ok {
+		return base + uint64(in.Off)%256
+	}
+	return DefaultDataBase + uint64(in.Off)
+}
+
+// call executes one function model.
+func (e *Engine) call(name string, env Env, depth int) error {
+	if depth > maxCallDepth {
+		return fmt.Errorf("code: call depth exceeded at %q (cycle in code models?)", name)
+	}
+	f := e.prog.funcs[name]
+	if f == nil {
+		return fmt.Errorf("code: call to unknown function %q", name)
+	}
+	pl := e.prog.placements[name]
+	if pl == nil {
+		return fmt.Errorf("code: function %q has no placement (program not linked)", name)
+	}
+
+	cur := f.Blocks[0].Label
+	for {
+		pb := pl.blocks[cur]
+		addr := pb.addr
+		// Block body.
+		for i := range pb.b.Instrs {
+			in := &pb.b.Instrs[i]
+			entry := cpu.Entry{Addr: addr, Op: in.Op}
+			if in.Op.AccessesMemory() {
+				entry.DataAddr = e.dataAddr(env, *in)
+			}
+			if in.Op == arch.OpCondBr {
+				// Bare conditional branches only occur as
+				// terminators; instruction lists never carry
+				// them, but keep the entry well-formed.
+				entry.Taken = false
+			}
+			e.step(entry)
+			addr += instrBytes
+			if in.Call != "" && in.Op == arch.OpJump {
+				if err := e.call(in.Call, env, depth+1); err != nil {
+					return err
+				}
+			}
+		}
+		// Terminator.
+		switch pb.b.Term.Kind {
+		case TermRet:
+			for _, ein := range f.Epilogue {
+				entry := cpu.Entry{Addr: addr, Op: ein.Op}
+				if ein.Op.AccessesMemory() {
+					entry.DataAddr = e.dataAddr(env, ein)
+				}
+				e.step(entry)
+				addr += instrBytes
+			}
+			e.step(cpu.Entry{Addr: addr, Op: arch.OpJump, Taken: true})
+			return nil
+
+		case TermJump:
+			succ := pb.b.Term.Then
+			if succ != pb.fall {
+				e.step(cpu.Entry{Addr: addr, Op: arch.OpBr, Taken: true})
+			}
+			cur = succ
+
+		case TermCond:
+			taken := env.Cond(pb.b.Term.Cond)
+			succ := pb.b.Term.Then
+			if !taken {
+				succ = pb.b.Term.Else
+			}
+			then, els := pb.b.Term.Then, pb.b.Term.Else
+			switch {
+			case els == pb.fall:
+				// Branch targets Then; fall through to Else.
+				e.step(cpu.Entry{Addr: addr, Op: arch.OpCondBr, Taken: succ == then})
+			case then == pb.fall:
+				// Inverted branch targets Else.
+				e.step(cpu.Entry{Addr: addr, Op: arch.OpCondBr, Taken: succ == els})
+			default:
+				// Neither side falls through: branch to Then
+				// plus an unconditional branch to Else.
+				e.step(cpu.Entry{Addr: addr, Op: arch.OpCondBr, Taken: succ == then})
+				if succ != then {
+					e.step(cpu.Entry{Addr: addr + instrBytes, Op: arch.OpBr, Taken: true})
+				}
+			}
+			cur = succ
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package code
+
+// Env binds a code model's symbolic names to run-time protocol state. The
+// engine consults it for every conditional branch and for the base address
+// of every named memory operand; this is how the functional Go protocol
+// implementations drive the modeled instruction stream.
+type Env interface {
+	// Cond returns the outcome of the named condition. Unknown names
+	// evaluate to false by convention, so models are authored with the
+	// exceptional outcome on the "true" side only where a binding exists.
+	Cond(name string) bool
+	// Addr resolves the named data object to its base address. When ok
+	// is false the engine falls back to linker-assigned static storage.
+	Addr(name string) (base uint64, ok bool)
+}
+
+// Binding is the standard Env implementation: a mutable set of condition
+// values/closures, queued loop counts, and address bindings. The zero value
+// is empty but usable after the first Set call; NewBinding is clearer.
+type Binding struct {
+	conds  map[string]func() bool
+	addrs  map[string]uint64
+	counts map[string]*countQueue
+	parent Env
+}
+
+// NewBinding returns an empty binding. If parent is non-nil, lookups that
+// miss locally are delegated to it, letting per-operation bindings layer
+// over long-lived per-connection ones.
+func NewBinding(parent Env) *Binding {
+	return &Binding{
+		conds:  map[string]func() bool{},
+		addrs:  map[string]uint64{},
+		counts: map[string]*countQueue{},
+		parent: parent,
+	}
+}
+
+// Set fixes the named condition to a constant.
+func (b *Binding) Set(name string, v bool) *Binding {
+	b.conds[name] = func() bool { return v }
+	return b
+}
+
+// SetFunc binds the named condition to a closure evaluated on each query;
+// use it to read live protocol state.
+func (b *Binding) SetFunc(name string, f func() bool) *Binding {
+	b.conds[name] = f
+	return b
+}
+
+// Bind fixes the base address of the named data object.
+func (b *Binding) Bind(name string, addr uint64) *Binding {
+	b.addrs[name] = addr
+	return b
+}
+
+// PushCount queues one execution of a counted do-while loop guarded by the
+// named condition: the condition will read true n-1 times and then false, so
+// the loop body runs n times (n must be >= 1; the model should guard
+// zero-trip loops with a separate condition). Counts queue in FIFO order, so
+// a caller invoking the same library model several times pushes one count
+// per invocation, in call order.
+func (b *Binding) PushCount(name string, n int) *Binding {
+	q := b.counts[name]
+	if q == nil {
+		q = &countQueue{}
+		b.counts[name] = q
+	}
+	if n < 1 {
+		n = 1
+	}
+	q.vals = append(q.vals, n-1)
+	return b
+}
+
+// Counter returns a self-re-arming loop condition: each time the guarded
+// do-while loop is entered, n() is evaluated against live protocol state and
+// the condition then reads true n()-1 times and false once, so the body runs
+// n() times. Bind it with SetFunc. Unlike PushCount it needs no per-call
+// queuing, which makes it the right tool for conditions registered once at
+// stack-construction time.
+func Counter(n func() int) func() bool {
+	remaining := -1
+	return func() bool {
+		if remaining < 0 {
+			remaining = n() - 1
+			if remaining < 0 {
+				remaining = 0
+			}
+		}
+		if remaining > 0 {
+			remaining--
+			return true
+		}
+		remaining = -1
+		return false
+	}
+}
+
+type countQueue struct {
+	vals []int
+}
+
+// next returns true while the current count has iterations left, consuming
+// one; when it reaches zero the count is popped and false returned.
+func (q *countQueue) next() bool {
+	if len(q.vals) == 0 {
+		return false
+	}
+	if q.vals[0] > 0 {
+		q.vals[0]--
+		return true
+	}
+	q.vals = q.vals[1:]
+	return false
+}
+
+// Cond implements Env.
+func (b *Binding) Cond(name string) bool {
+	if q, ok := b.counts[name]; ok {
+		return q.next()
+	}
+	if f, ok := b.conds[name]; ok {
+		return f()
+	}
+	if b.parent != nil {
+		return b.parent.Cond(name)
+	}
+	return false
+}
+
+// Addr implements Env.
+func (b *Binding) Addr(name string) (uint64, bool) {
+	if a, ok := b.addrs[name]; ok {
+		return a, true
+	}
+	if b.parent != nil {
+		return b.parent.Addr(name)
+	}
+	return 0, false
+}

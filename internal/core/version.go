@@ -1,0 +1,185 @@
+// Package core assembles everything into the paper's experiments: it builds
+// the two protocol stacks in each of the six measured configurations (STD,
+// OUT, CLO, BAD, PIN, ALL), runs the ping-pong latency tests in virtual
+// time, collects the end-to-end, trace, cache and CPI statistics, and
+// renders every table and figure of the evaluation section.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/code"
+	"repro/internal/lance"
+	"repro/internal/layout"
+	"repro/internal/models"
+	"repro/internal/protocols/features"
+	"repro/internal/protocols/rpc"
+	"repro/internal/protocols/tcpip"
+)
+
+// Version is one of the measured configurations of §4.2.
+type Version int
+
+// The six test cases.
+const (
+	// STD includes the §2 improvements but none of the §3 techniques.
+	STD Version = iota
+	// OUT adds outlining.
+	OUT
+	// CLO adds cloning with the bipartite layout on top of OUT.
+	CLO
+	// BAD uses cloning to construct a pessimal layout.
+	BAD
+	// PIN is OUT plus path-inlining.
+	PIN
+	// ALL is PIN plus cloning with the bipartite layout.
+	ALL
+)
+
+var versionNames = map[Version]string{
+	STD: "STD", OUT: "OUT", CLO: "CLO", BAD: "BAD", PIN: "PIN", ALL: "ALL",
+}
+
+func (v Version) String() string { return versionNames[v] }
+
+// Versions lists all configurations in the paper's Table 4 order (slowest
+// first).
+func Versions() []Version { return []Version{BAD, STD, OUT, CLO, PIN, ALL} }
+
+// StackKind selects the protocol stack under test.
+type StackKind int
+
+// The two test stacks.
+const (
+	StackTCPIP StackKind = iota
+	StackRPC
+)
+
+func (s StackKind) String() string {
+	if s == StackRPC {
+		return "RPC"
+	}
+	return "TCP/IP"
+}
+
+// CloneStrategy selects the cloned-code layout for CLO/ALL (the §3.2
+// ablation).
+type CloneStrategy int
+
+// Layout strategies for cloned code.
+const (
+	// Bipartite is the paper's winning layout.
+	Bipartite CloneStrategy = iota
+	// MicroPosition is the trace-driven conflict-minimizing placement.
+	MicroPosition
+	// LinearLayout packs all cloned functions in pure invocation order.
+	LinearLayout
+)
+
+func (c CloneStrategy) String() string {
+	switch c {
+	case MicroPosition:
+		return "micro-positioning"
+	case LinearLayout:
+		return "linear"
+	default:
+		return "bipartite"
+	}
+}
+
+// stackModels returns the program functions and layout spec for a stack.
+func stackModels(kind StackKind, feat features.Set) ([]*code.Function, layout.Spec) {
+	var fns []*code.Function
+	fns = append(fns, models.Library(feat.RefreshShortCircuit)...)
+	fns = append(fns, lance.Models("eth_demux", feat.UseUSC)...)
+	var spec layout.Spec
+	switch kind {
+	case StackRPC:
+		fns = append(fns, rpc.Models(feat)...)
+		spec.Path = rpc.PathFuncs()
+	default:
+		fns = append(fns, tcpip.Models(feat)...)
+		spec.Path = tcpip.PathFuncs()
+	}
+	spec.Library = models.LibraryNames()
+	return fns, spec
+}
+
+// inlineSpec returns the path-inlining root and inlinable set per stack.
+func inlineSpec(kind StackKind) (string, []string) {
+	if kind == StackRPC {
+		return rpc.InlineRoots()
+	}
+	return tcpip.InlineRoots()
+}
+
+// usageHint supplies the per-function invocation counts micro-positioning
+// consumes (the trace-file information).
+func usageHint(spec layout.Spec) map[string]int {
+	u := map[string]int{}
+	for _, n := range spec.Path {
+		u[n] = 1
+	}
+	// Library functions run several times per path.
+	for _, n := range spec.Library {
+		u[n] = 3
+	}
+	u["bcopy"] = 4
+	u["in_cksum"] = 4
+	u["msg_push"] = 6
+	u["msg_pop"] = 6
+	return u
+}
+
+// BuildProgram links the model image for one host in the given version.
+func BuildProgram(kind StackKind, v Version, feat features.Set, strat CloneStrategy, m arch.Machine) (*code.Program, error) {
+	fns, spec := stackModels(kind, feat)
+	base := code.NewProgram()
+	if err := base.Add(fns...); err != nil {
+		return nil, err
+	}
+
+	switch v {
+	case STD:
+		return base, base.Link()
+
+	case OUT:
+		p := layout.Outline(base)
+		return p, p.Link()
+
+	case CLO, BAD:
+		p := layout.Outline(base)
+		if v == BAD {
+			return layout.Bad(p, spec, m)
+		}
+		switch strat {
+		case MicroPosition:
+			return layout.MicroPosition(p, spec, usageHint(spec), m, layout.DefaultCloneBase)
+		case LinearLayout:
+			return layout.Linear(p, spec, m, layout.DefaultCloneBase)
+		default:
+			return layout.Bipartite(p, spec, m, layout.DefaultCloneBase)
+		}
+
+	case PIN, ALL:
+		p := layout.Outline(base)
+		root, inlinable := inlineSpec(kind)
+		p, err := layout.PathInline(p, root, inlinable)
+		if err != nil {
+			return nil, err
+		}
+		// Re-outline so the cold blocks spliced in from the inlined
+		// callees move back out of the merged mainline.
+		p = layout.Outline(p)
+		if v == PIN {
+			return p, p.Link()
+		}
+		inlSpec := layout.Spec{
+			Path:    []string{"lance_rx", "lance_post"},
+			Library: spec.Library,
+		}
+		return layout.Bipartite(p, inlSpec, m, layout.DefaultCloneBase)
+	}
+	return nil, fmt.Errorf("core: unknown version %d", v)
+}

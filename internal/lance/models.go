@@ -1,0 +1,83 @@
+package lance
+
+import "repro/internal/code"
+
+// Models returns the driver's code models. upDemux names the model of the
+// device-independent Ethernet half's demux function (stack-specific);
+// useUSC selects direct sparse-memory descriptor access over the
+// copy-in/copy-out style.
+//
+// lance_rx is the root of the traced input path: ring processing, buffer
+// shepherding (pool_get + bcopy from the sparse buffer), and the call up
+// into the protocol graph. lance_tx is the tail of the output path:
+// bcopy into the sparse buffer, descriptor update, controller kick.
+// lance_post is the after-send message refresh, traced but overlapping
+// communication.
+func Models(upDemux string, useUSC bool) []*code.Function {
+	return []*code.Function{
+		rxModel(upDemux, useUSC),
+		txModel(useUSC),
+		postModel(),
+	}
+}
+
+func rxModel(upDemux string, useUSC bool) *code.Function {
+	b := code.NewBuilder("lance_rx", code.ClassPath).Frame(4)
+	// Ring bookkeeping and status check.
+	b.ALU(40)
+	if useUSC {
+		// Status and length read directly from the sparse descriptor.
+		b.Load("lance.ring", 6).ALU(19)
+	} else {
+		// Copy the descriptor to dense memory first: 5 word reads.
+		b.Load("lance.ring", 16).Store("$stack", 16).ALU(40).Load("$stack", 6)
+	}
+	b.Cond("lance.rxerr", "rxerr", "shepherd")
+	b.Block("rxerr").Kind(code.BlockError).ALU(179).Store("lance.ring", 6).Ret()
+	// Take a message buffer and copy the frame out of sparse memory.
+	b.Block("shepherd").ALU(30).Call("stack_attach").Call("pool_get")
+	b.ALU(19).Call("bcopy") // driven by lance.rxcopy.more
+	// Hand the descriptor back to the controller.
+	if useUSC {
+		b.Store("lance.ring", 3).ALU(10)
+	} else {
+		b.ALU(30).Store("lance.ring", 16)
+	}
+	b.ALU(25).Call(upDemux)
+	b.Ret()
+	return b.MustBuild()
+}
+
+func txModel(useUSC bool) *code.Function {
+	b := code.NewBuilder("lance_tx", code.ClassPath).Frame(3)
+	// Ring slot selection, frame length computation, minimum-size pad.
+	b.ALU(59).Load("lance.ring", 3)
+	b.Cond("lance.ringfull", "full", "copy")
+	b.Block("full").Kind(code.BlockError).ALU(198).Ret()
+	// Copy the frame into the sparse transmit buffer.
+	b.Block("copy").ALU(19).Call("bcopy") // driven by lance.txcopy.more
+	if useUSC {
+		// Direct field updates: bcnt, then flags (read-modify-write).
+		b.Store("lance.ring", 3).Load("lance.ring", 3).ALU(15).Store("lance.ring", 3)
+		b.ALU(15)
+	} else {
+		// Copy the 10-byte descriptor in, modify, copy back: the
+		// traditional driver style USC replaces (~50 instructions per
+		// update, ~171 dynamic per packet including the tx-done side).
+		b.Load("lance.ring", 16).Store("$stack", 16).ALU(49)
+		b.Load("$stack", 16).ALU(40).Store("$stack", 16)
+		b.Load("$stack", 16).Store("lance.ring", 16).ALU(59)
+	}
+	// Kick the controller via its CSR.
+	b.ALU(19).Store("lance.csr", 3)
+	b.Ret()
+	return b.MustBuild()
+}
+
+func postModel() *code.Function {
+	return code.NewBuilder("lance_post", code.ClassPath).
+		Frame(1).
+		ALU(19).Call("pool_refresh").ALU(10).
+		Ret().
+		MustBuild()
+}

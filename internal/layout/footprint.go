@@ -1,0 +1,109 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/code"
+)
+
+// Footprint renders a Figure 2-style i-cache footprint map of the named
+// functions (all placed functions when names is nil): each character is one
+// cache block, rows wrap at the i-cache size so a column corresponds to a
+// cache set. '#' marks mainline code, 'o' outlined (cold) code, '.' a gap.
+func Footprint(p *code.Program, names []string, m arch.Machine) string {
+	if names == nil {
+		names = p.Names()
+	}
+	block := uint64(m.BlockBytes)
+	type span struct {
+		lo, hi uint64
+		cold   bool
+	}
+	var spans []span
+	var lo, hi uint64
+	for _, n := range names {
+		f := p.Func(n)
+		pl := p.Placement(n)
+		if f == nil || pl == nil {
+			continue
+		}
+		for _, b := range f.Blocks {
+			addr, ok := pl.BlockAddr(b.Label)
+			if !ok {
+				continue
+			}
+			size, _ := pl.BlockSize(b.Label)
+			if size == 0 {
+				continue
+			}
+			end := addr + uint64(size*4)
+			spans = append(spans, span{addr, end, b.Kind.Outlinable()})
+			if lo == 0 || addr < lo {
+				lo = addr
+			}
+			if end > hi {
+				hi = end
+			}
+		}
+	}
+	if len(spans) == 0 {
+		return "(empty footprint)\n"
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+
+	lo = lo &^ (uint64(m.ICacheBytes) - 1) // row-align to the cache
+	nBlocks := int((hi - lo + block - 1) / block)
+	cells := make([]byte, nBlocks)
+	for i := range cells {
+		cells[i] = '.'
+	}
+	for _, s := range spans {
+		for a := s.lo &^ (block - 1); a < s.hi; a += block {
+			idx := int((a - lo) / block)
+			if idx < 0 || idx >= nBlocks {
+				continue
+			}
+			ch := byte('#')
+			if s.cold {
+				ch = 'o'
+			}
+			if cells[idx] == '#' {
+				continue // hot wins when a block is shared
+			}
+			cells[idx] = ch
+		}
+	}
+
+	perRow := m.ICacheBytes / m.BlockBytes
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "one row = one i-cache generation (%d blocks of %dB); '#' mainline, 'o' outlined, '.' gap\n",
+		perRow, m.BlockBytes)
+	for i := 0; i < nBlocks; i += perRow {
+		end := i + perRow
+		if end > nBlocks {
+			end = nBlocks
+		}
+		fmt.Fprintf(&sb, "%#08x |%s|\n", lo+uint64(i)*block, cells[i:end])
+	}
+	return sb.String()
+}
+
+// FootprintStats summarizes a footprint: blocks of mainline, outlined code,
+// and gap within the occupied extent.
+func FootprintStats(p *code.Program, names []string, m arch.Machine) (hot, cold, gap int) {
+	text := Footprint(p, names, m)
+	for _, ch := range text {
+		switch ch {
+		case '#':
+			hot++
+		case 'o':
+			cold++
+		case '.':
+			gap++
+		}
+	}
+	return
+}

@@ -1,0 +1,238 @@
+// Package models holds the code models of the x-kernel library functions
+// that both protocol stacks call repeatedly per path invocation: these are
+// the ClassLibrary functions of the bipartite layout. Instruction mixes are
+// patterned on the Alpha code the paper discusses (e.g. the software integer
+// divide the architecture lacks, the three-times-cheaper inlined hash-table
+// cache test).
+//
+// Loop trip counts are driven by conditions the protocols bind per event:
+//
+//	bcopy.more      - one iteration per 8 bytes copied (queue per call)
+//	cksum.more      - one iteration per 16 bytes summed
+//	map.probe_more  - hash-chain probe iterations
+//	div.more        - software-divide iterations
+package models
+
+import "repro/internal/code"
+
+// Library returns the shared library function models. improvedRefresh
+// selects which pool_refresh variant (§2.2.2) is linked into the image.
+func Library(improvedRefresh bool) []*code.Function {
+	refresh := poolRefreshOriginal()
+	if improvedRefresh {
+		refresh = poolRefreshImproved()
+	}
+	return []*code.Function{
+		bcopy(),
+		inCksum(),
+		mapResolve(),
+		mapBind(),
+		msgPush(),
+		msgPop(),
+		msgDestroy(),
+		malloc(),
+		free(),
+		poolGet(),
+		refresh,
+		evtSchedule(),
+		evtCancel(),
+		divrem(),
+		threadSignal(),
+		stackAttach(),
+	}
+}
+
+// LibraryNames lists the library functions in typical first-use order on the
+// input path; layout specs use it to build the library partition.
+func LibraryNames() []string {
+	return []string{
+		"pool_get", "msg_pop", "in_cksum", "map_resolve", "bcopy",
+		"msg_push", "msg_destroy", "evt_schedule", "evt_cancel",
+		"thread_signal", "stack_attach", "pool_refresh", "malloc", "free",
+		"divrem", "map_bind",
+	}
+}
+
+// bcopy copies 8 bytes per iteration: 1 load + 1 store + loop overhead.
+func bcopy() *code.Function {
+	return code.NewBuilder("bcopy", code.ClassLibrary).
+		ALU(8). // argument setup, alignment checks
+		Loop("copy", "bcopy.more", func(b *code.Builder) {
+			b.Load("bcopy.src", 2).Store("bcopy.dst", 2).ALU(4)
+		}).
+		ALU(2).
+		Ret().
+		MustBuild()
+}
+
+// inCksum folds 16 bytes (two quadwords) per iteration.
+func inCksum() *code.Function {
+	return code.NewBuilder("in_cksum", code.ClassLibrary).
+		ALU(12). // setup, length decomposition
+		Loop("sum", "cksum.more", func(b *code.Builder) {
+			b.Load("cksum.buf", 3).ALU(8)
+		}).
+		ALU(12). // fold carries, complement
+		Ret().
+		MustBuild()
+}
+
+// mapResolve is the general hash-table lookup: supports unaligned keys and
+// arbitrary key sizes, so the key comparison is a byte loop.
+func mapResolve() *code.Function {
+	b := code.NewBuilder("map_resolve", code.ClassLibrary).Frame(2)
+	b.ALU(8).Load("map.hdr", 3) // hash setup, table pointer
+	b.Block("hash").ALU(16).Load("map.key", 3)
+	b.Block("probe").Load("map.bucket", 3).ALU(6).
+		Cond("map.probe_more", "probe", "check")
+	b.Block("check").Load("map.entry", 3).ALU(12).
+		Cond("map.found", "hit", "miss")
+	b.Block("miss").Kind(code.BlockMain).ALU(6).Ret()
+	b.Block("hit").ALU(4).Store("map.cache", 3).Ret()
+	return b.MustBuild()
+}
+
+// mapBind inserts a binding (used at connection setup, modeled for
+// completeness; not on the per-packet path).
+func mapBind() *code.Function {
+	return code.NewBuilder("map_bind", code.ClassLibrary).
+		Frame(1).
+		ALU(20).Load("map.hdr", 3).Store("map.bucket", 3).
+		Ret().
+		MustBuild()
+}
+
+// msgPush prepends a header to a message: pointer arithmetic and a bounds
+// check with outlined overflow handling.
+func msgPush() *code.Function {
+	b := code.NewBuilder("msg_push", code.ClassLibrary)
+	b.ALU(8).Load("msg.hdr", 3).
+		Cond("msg.overflow", "grow", "store")
+	b.Block("grow").Kind(code.BlockError).ALU(60).Call("malloc").Jump("store")
+	b.Block("store").ALU(4).Store("msg.hdr", 3).Ret()
+	return b.MustBuild()
+}
+
+// msgPop strips a header.
+func msgPop() *code.Function {
+	b := code.NewBuilder("msg_pop", code.ClassLibrary)
+	b.ALU(6).Load("msg.hdr", 3).
+		Cond("msg.underflow", "fail", "adjust")
+	b.Block("fail").Kind(code.BlockError).ALU(40).Ret()
+	b.Block("adjust").ALU(4).Store("msg.hdr", 2).Ret()
+	return b.MustBuild()
+}
+
+// msgDestroy drops a reference, freeing on the last one.
+func msgDestroy() *code.Function {
+	b := code.NewBuilder("msg_destroy", code.ClassLibrary).Frame(1)
+	b.ALU(4).Load("msg.hdr", 2).ALU(4).Store("msg.hdr", 2).
+		Cond("msg.lastref", "free", "done")
+	b.Block("free").ALU(4).Call("free").Jump("done")
+	b.Block("done").ALU(2).Ret()
+	return b.MustBuild()
+}
+
+// malloc is a first-fit free-list allocator hit on its fast path.
+func malloc() *code.Function {
+	b := code.NewBuilder("malloc", code.ClassLibrary).Frame(2)
+	b.ALU(12).Load("heap.freelist", 4).
+		Cond("malloc.slow", "refill", "fast")
+	b.Block("refill").Kind(code.BlockError).ALU(120).Load("heap.freelist", 9).Store("heap.freelist", 6).Jump("fast")
+	b.Block("fast").ALU(8).Store("heap.freelist", 3).Ret()
+	return b.MustBuild()
+}
+
+// free returns a block to the free list.
+func free() *code.Function {
+	return code.NewBuilder("free", code.ClassLibrary).
+		ALU(12).Load("heap.freelist", 3).Store("heap.freelist", 3).
+		Ret().
+		MustBuild()
+}
+
+// poolGet takes a pre-allocated message buffer from the interrupt pool.
+func poolGet() *code.Function {
+	b := code.NewBuilder("pool_get", code.ClassLibrary)
+	b.ALU(6).Load("pool.hdr", 3).
+		Cond("pool.empty", "alloc", "take")
+	b.Block("alloc").Kind(code.BlockError).ALU(16).Call("malloc").Jump("take")
+	b.Block("take").ALU(6).Store("pool.hdr", 3).Ret()
+	return b.MustBuild()
+}
+
+// poolRefreshOriginal is the §2.2.2 original: destroy the shepherded buffer
+// (usually freeing it) and allocate a fresh one. Roughly 208 dynamic
+// instructions heavier than the improved variant.
+func poolRefreshOriginal() *code.Function {
+	b := code.NewBuilder("pool_refresh", code.ClassLibrary).Frame(2)
+	b.ALU(16).Load("pool.hdr", 3).Load("msg.hdr", 3)
+	b.Call("msg_destroy")
+	b.ALU(40).Call("malloc")
+	b.ALU(80).Store("msg.hdr", 9).Load("msg.hdr", 6) // buffer re-initialization
+	b.ALU(60).Store("pool.hdr", 3)
+	b.ALU(24)
+	b.Ret()
+	return b.MustBuild()
+}
+
+// poolRefreshImproved detects the sole-reference common case and recycles
+// the buffer without touching malloc/free.
+func poolRefreshImproved() *code.Function {
+	b := code.NewBuilder("pool_refresh", code.ClassLibrary).Frame(1)
+	b.ALU(8).Load("msg.hdr", 3).
+		Cond("pool.shared", "slowpath", "recycle")
+	b.Block("slowpath").Kind(code.BlockError).
+		ALU(16).Call("msg_destroy").ALU(40).Call("malloc").ALU(80).Jump("done")
+	b.Block("recycle").ALU(12).Store("msg.hdr", 3).Store("pool.hdr", 3)
+	b.Block("done").ALU(4).Ret()
+	return b.MustBuild()
+}
+
+// evtSchedule registers a timer (TCP retransmit, BLAST NACK).
+func evtSchedule() *code.Function {
+	return code.NewBuilder("evt_schedule", code.ClassLibrary).
+		Frame(1).
+		ALU(20).Load("evt.wheel", 3).Store("evt.wheel", 4).
+		Ret().
+		MustBuild()
+}
+
+// evtCancel removes a timer.
+func evtCancel() *code.Function {
+	return code.NewBuilder("evt_cancel", code.ClassLibrary).
+		ALU(12).Load("evt.wheel", 3).Store("evt.wheel", 3).
+		Ret().
+		MustBuild()
+}
+
+// divrem is the software integer divide the Alpha lacks: a subtract-and-
+// shift loop plus fixup, called wherever unoptimized TCP divides.
+func divrem() *code.Function {
+	return code.NewBuilder("divrem", code.ClassLibrary).
+		Frame(1).
+		ALU(10). // normalization
+		Loop("step", "div.more", func(b *code.Builder) { b.ALU(3) }).
+		ALU(8). // remainder fixup, sign
+		Ret().
+		MustBuild()
+}
+
+// threadSignal unblocks a thread waiting in CHAN.
+func threadSignal() *code.Function {
+	return code.NewBuilder("thread_signal", code.ClassLibrary).
+		Frame(1).
+		ALU(16).Load("thread.tcb", 3).Store("thread.tcb", 3).Store("sched.queue", 3).
+		Ret().
+		MustBuild()
+}
+
+// stackAttach attaches a stack from the LIFO pool to a shepherded thread.
+func stackAttach() *code.Function {
+	b := code.NewBuilder("stack_attach", code.ClassLibrary)
+	b.ALU(8).Load("sched.stackpool", 3).
+		Cond("stack.empty", "create", "pop")
+	b.Block("create").Kind(code.BlockError).ALU(32).Call("malloc").Jump("pop")
+	b.Block("pop").ALU(6).Store("sched.stackpool", 3).Ret()
+	return b.MustBuild()
+}

@@ -1,0 +1,81 @@
+// Package netsim is the event-driven network between the two simulated
+// hosts: an isolated 10 Mb/s Ethernet with realistic serialization delay and
+// the LANCE controller's transmit-to-interrupt overhead, running in virtual
+// time on the shared event queue. Frames can be dropped by an injectable
+// fault hook, which the protocol tests use to exercise retransmission.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/protocols/wire"
+	"repro/internal/xkernel"
+)
+
+// Timing constants from §4.3 of the paper, in CPU cycles at 175 MHz.
+const (
+	// CyclesPerMicrosecond converts the paper's µs figures.
+	CyclesPerMicrosecond = 175
+	// ControllerOverheadCycles is the LANCE's ~47 µs of per-frame
+	// overhead (105 µs measured transmit-to-interrupt minus 57.6 µs of
+	// wire time for a minimum frame).
+	ControllerOverheadCycles = 47 * CyclesPerMicrosecond
+	// WireCyclesPerByte is the 10 Mb/s serialization cost: 0.8 µs per
+	// byte.
+	WireCyclesPerByte = 140
+	// fcsBytes is the Ethernet frame check sequence appended on the wire.
+	fcsBytes = 4
+)
+
+// WireTimeCycles returns the serialization time of a frame of n payload
+// bytes (header included): the frame is padded to the Ethernet minimum and
+// carries an 8-byte preamble and 4-byte FCS on the wire.
+func WireTimeCycles(n int) uint64 {
+	if n < wire.EthMinFrame {
+		n = wire.EthMinFrame
+	}
+	return uint64(n+fcsBytes+wire.PreambleBytes) * WireCyclesPerByte
+}
+
+// Link is a point-to-point Ethernet segment. Both attached devices transmit
+// through it; delivery happens on the shared event queue after controller
+// overhead plus wire time.
+type Link struct {
+	Queue *xkernel.EventQueue
+
+	// Drop, when non-nil, is consulted per frame; returning true loses
+	// the frame in transit (fault injection for retransmission tests).
+	Drop func(frame []byte) bool
+
+	// Frames and Dropped count transmissions and injected losses.
+	Frames  int
+	Dropped int
+}
+
+// NewLink builds a link on the given queue.
+func NewLink(q *xkernel.EventQueue) *Link {
+	return &Link{Queue: q}
+}
+
+// Transmit puts a frame on the wire. extraDelay is added before the
+// controller starts (the sender's processing time already consumed in the
+// current event). deliver runs at the receiver when the frame (a private
+// copy) arrives; txDone runs at the sender at the transmit-complete
+// interrupt, at essentially the same time.
+func (l *Link) Transmit(frame []byte, extraDelay uint64, deliver func(frame []byte), txDone func()) {
+	l.Frames++
+	latency := extraDelay + ControllerOverheadCycles + WireTimeCycles(len(frame))
+	cp := append([]byte(nil), frame...)
+	if txDone != nil {
+		l.Queue.Schedule(latency, txDone)
+	}
+	if l.Drop != nil && l.Drop(cp) {
+		l.Dropped++
+		return
+	}
+	l.Queue.Schedule(latency, func() { deliver(cp) })
+}
+
+func (l *Link) String() string {
+	return fmt.Sprintf("link{frames=%d dropped=%d}", l.Frames, l.Dropped)
+}

@@ -1,0 +1,96 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/protocols/wire"
+	"repro/internal/xkernel"
+)
+
+func TestWireTimeMatchesPaper(t *testing.T) {
+	// A minimum frame (60B + 4B FCS + 8B preamble = 72B) at 10 Mb/s takes
+	// 57.6 us = 10080 cycles at 175 MHz.
+	got := WireTimeCycles(20) // padded up to the minimum
+	if got != 10080 {
+		t.Fatalf("minimum frame wire time = %d cycles, want 10080 (57.6 us)", got)
+	}
+	// A full MTU frame takes proportionally longer.
+	if WireTimeCycles(1514) <= got {
+		t.Fatal("large frames must serialize longer")
+	}
+}
+
+func TestTransmitDeliversAfterLatency(t *testing.T) {
+	q := xkernel.NewEventQueue()
+	l := NewLink(q)
+	var deliveredAt uint64
+	var txDoneAt uint64
+	frame := make([]byte, wire.EthMinFrame)
+	frame[0] = 0x42
+	l.Transmit(frame, 0, func(f []byte) {
+		deliveredAt = q.Now()
+		if f[0] != 0x42 {
+			t.Error("frame corrupted in transit")
+		}
+	}, func() { txDoneAt = q.Now() })
+	q.Run(10)
+	want := uint64(ControllerOverheadCycles) + WireTimeCycles(len(frame))
+	if deliveredAt != want {
+		t.Fatalf("delivered at %d, want %d", deliveredAt, want)
+	}
+	if txDoneAt != want {
+		t.Fatalf("tx-done at %d, want %d", txDoneAt, want)
+	}
+	// 105 us total, the paper's measured transmit-to-interrupt latency.
+	us := float64(want) / CyclesPerMicrosecond
+	if us < 104 || us > 106 {
+		t.Fatalf("transmit-to-interrupt = %.1f us, want ~105", us)
+	}
+}
+
+func TestExtraDelayShiftsDelivery(t *testing.T) {
+	q := xkernel.NewEventQueue()
+	l := NewLink(q)
+	var at uint64
+	l.Transmit(make([]byte, 60), 1000, func([]byte) { at = q.Now() }, nil)
+	q.Run(10)
+	base := uint64(ControllerOverheadCycles) + WireTimeCycles(60)
+	if at != base+1000 {
+		t.Fatalf("delivered at %d, want %d", at, base+1000)
+	}
+}
+
+func TestTransmitCopiesFrame(t *testing.T) {
+	q := xkernel.NewEventQueue()
+	l := NewLink(q)
+	frame := []byte{1, 2, 3}
+	var got []byte
+	l.Transmit(frame, 0, func(f []byte) { got = f }, nil)
+	frame[0] = 99 // sender reuses its buffer before delivery
+	q.Run(10)
+	if got[0] != 1 {
+		t.Fatal("in-flight frame aliased the sender's buffer")
+	}
+}
+
+func TestDropInjection(t *testing.T) {
+	q := xkernel.NewEventQueue()
+	l := NewLink(q)
+	n := 0
+	l.Drop = func(frame []byte) bool { n++; return n == 1 }
+	delivered := 0
+	txDone := 0
+	for i := 0; i < 3; i++ {
+		l.Transmit(make([]byte, 60), 0, func([]byte) { delivered++ }, func() { txDone++ })
+	}
+	q.Run(10)
+	if delivered != 2 {
+		t.Fatalf("delivered %d frames, want 2", delivered)
+	}
+	if txDone != 3 {
+		t.Fatal("sender must see tx-done even for lost frames")
+	}
+	if l.Dropped != 1 || l.Frames != 3 {
+		t.Fatalf("stats: %v", l)
+	}
+}

@@ -1,0 +1,66 @@
+package bsd
+
+import "testing"
+
+func TestModelsValid(t *testing.T) {
+	for _, f := range Models() {
+		if err := f.Validate(); err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+	}
+}
+
+func TestMeasureBidirectional(t *testing.T) {
+	c, err := Measure(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ipintr == 0 || c.TCPInput == 0 || c.IPToTCP == 0 || c.TCPToSocket == 0 {
+		t.Fatalf("empty regions: %v", c)
+	}
+	if c.CPI <= 1 {
+		t.Fatalf("CPI = %v", c.CPI)
+	}
+	// The inlined checksum and CISC->RISC expansion make the modeled
+	// counts larger than the published 80386 numbers, as in the paper.
+	ref := CJRS89()
+	if c.Ipintr <= ref.Ipintr {
+		t.Fatalf("modeled ipintr %d not larger than 80386's %d", c.Ipintr, ref.Ipintr)
+	}
+	if c.TCPInput <= ref.TCPInput {
+		t.Fatalf("modeled tcp_input %d not larger than 80386's %d", c.TCPInput, ref.TCPInput)
+	}
+}
+
+// Header prediction helps only unidirectional connections; on the
+// bidirectional test it is pure overhead (about a dozen instructions).
+func TestHeaderPredictionBidirectionalPenalty(t *testing.T) {
+	bi, err := Measure(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := Measure(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uni.TCPInput >= bi.TCPInput {
+		t.Fatalf("predicted path (%d) not shorter than general path (%d)", uni.TCPInput, bi.TCPInput)
+	}
+	if c := bi.TCPInput - uni.TCPInput; c < 50 {
+		t.Fatalf("general path only %d instructions heavier; housekeeping missing", c)
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	a, err := Measure(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Measure(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("non-deterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,51 @@
+// Package features enumerates the §2 code improvements whose dynamic
+// instruction savings Table 1 reports. Each toggle selects between the
+// original and improved variant of both the functional code and the
+// corresponding code models, so the experiment harness can measure every
+// saving in isolation.
+package features
+
+// Set selects protocol-stack code variants.
+type Set struct {
+	// WordSizedTCPState replaces byte/short fields in the TCP connection
+	// state with word-sized integers, removing the sub-word
+	// extract/insert sequences the first Alpha generations needed
+	// (§2.2.4; the single largest saving in Table 1).
+	WordSizedTCPState bool
+	// RefreshShortCircuit recycles a sole-reference message buffer
+	// without calling free()/malloc() (§2.2.2).
+	RefreshShortCircuit bool
+	// UseUSC updates LANCE descriptors directly in sparse TURBOchannel
+	// memory through USC-generated stubs instead of copying whole
+	// descriptors in and out (§2.2.4).
+	UseUSC bool
+	// InlinedMapCacheTest inlines the hash-table one-entry cache check
+	// at the demux call sites (§2.2.3's conditional inlining).
+	InlinedMapCacheTest bool
+	// MiscInlining applies the other safe inlining cases of §2.2.3
+	// (single-call-site and smaller-than-the-call-sequence functions).
+	MiscInlining bool
+	// AvoidDivision tests for the fully-open congestion window and uses
+	// the 33%-of-window shift/add instead of 35% multiply/divide,
+	// keeping the software divide off the critical path (§2.2.2).
+	AvoidDivision bool
+	// Continuations enables the continuation-based thread manager with
+	// first-class LIFO stacks (§2.2.1).
+	Continuations bool
+}
+
+// Original returns the pre-port configuration (all improvements off).
+func Original() Set { return Set{} }
+
+// Improved returns the fully improved configuration of Table 2.
+func Improved() Set {
+	return Set{
+		WordSizedTCPState:   true,
+		RefreshShortCircuit: true,
+		UseUSC:              true,
+		InlinedMapCacheTest: true,
+		MiscInlining:        true,
+		AvoidDivision:       true,
+		Continuations:       true,
+	}
+}

@@ -1,0 +1,17 @@
+package features
+
+import "testing"
+
+func TestOriginalAllOff(t *testing.T) {
+	if Original() != (Set{}) {
+		t.Fatal("Original must disable every improvement")
+	}
+}
+
+func TestImprovedAllOn(t *testing.T) {
+	f := Improved()
+	if !f.WordSizedTCPState || !f.RefreshShortCircuit || !f.UseUSC ||
+		!f.InlinedMapCacheTest || !f.MiscInlining || !f.AvoidDivision || !f.Continuations {
+		t.Fatalf("Improved left something off: %+v", f)
+	}
+}

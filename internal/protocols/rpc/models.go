@@ -1,0 +1,252 @@
+package rpc
+
+import (
+	"repro/internal/code"
+	"repro/internal/protocols/features"
+	"repro/internal/protocols/tcpip"
+)
+
+// Models returns the RPC stack's path-function code models. The stack's
+// signature structure — many small functions, exceptional events handled by
+// calling out rather than inline — is reflected directly: bodies are short,
+// frames shallow, and there is less outlinable inline code than in TCP
+// (§4.3's explanation of why outlining helps RPC less and cloning helps it
+// more).
+func Models(feat features.Set) []*code.Function {
+	return []*code.Function{
+		xrpcCallModel(),
+		xrpcDemuxModel(),
+		mselectPushModel(),
+		mselectDemuxModel(),
+		vchanPushModel(),
+		vchanDemuxModel(),
+		chanPushModel(),
+		chanDemuxModel(),
+		chanReplyModel(),
+		bidPushModel(),
+		bidDemuxModel(),
+		blastPushModel(),
+		blastDemuxModel(),
+		blastErrModel(),
+		chanTimeoutModel(),
+		tcpip.VnetPushModel(),
+		tcpip.EthPushModel(),
+		tcpip.EthDemuxModel("blast_demux"),
+	}
+}
+
+// PathFuncs lists the RPC path functions in input-then-output invocation
+// order for the bipartite layout.
+func PathFuncs() []string {
+	return []string{
+		"lance_rx", "eth_demux", "blast_demux", "bid_demux", "chan_demux",
+		"vchan_demux", "mselect_demux", "xrpctest_demux",
+		"xrpctest_call", "mselect_push", "vchan_push", "chan_push",
+		"chan_reply", "bid_push", "blast_push", "vnet_push", "eth_push",
+		"lance_tx", "lance_post",
+	}
+}
+
+// InlineRoots returns the path-inlining spec: everything above the driver
+// collapses into the input-path root, splitting as in the paper — one
+// function handling input up to CHAN, the other the client call path.
+func InlineRoots() (inRoot string, inlinable []string) {
+	return "lance_rx", []string{
+		"eth_demux", "blast_demux", "bid_demux", "chan_demux",
+		"vchan_demux", "mselect_demux", "xrpctest_demux",
+		"xrpctest_call", "mselect_push", "vchan_push", "chan_push",
+		"chan_reply", "bid_push", "blast_push", "vnet_push", "eth_push",
+		"lance_tx",
+	}
+}
+
+// rguard emits a mainline error check with a small inline error block, the
+// source-order structure the outliner straightens. The condition is unbound
+// and therefore never fires.
+func rguard(b *code.Builder, label string, errInstrs int) {
+	ok := label + "$ok"
+	fail := label + "$err"
+	b.Cond(label+"$bad", fail, ok)
+	b.Block(fail).Kind(code.BlockError).ALU(errInstrs).Ret()
+	b.Block(ok)
+}
+
+// rchew emits a mainline stretch of about n instructions with the data-
+// reference density of protocol code against obj, split by one inline error
+// check. RPC-layer functions are small, so one check per stretch keeps the
+// many-small-functions structure the stack is known for.
+func rchew(b *code.Builder, label string, n int, obj string) {
+	half := n / 2
+	b.ALU(half*6/10).Load(obj, half*25/100+1).Store(obj, half*15/100+1)
+	rguard(b, label, 10)
+	b.ALU(half*6/10).Load(obj, half*25/100+1).Store(obj, half*15/100+1)
+}
+
+func xrpcCallModel() *code.Function {
+	b := code.NewBuilder("xrpctest_call", code.ClassPath).Frame(2)
+	b.ALU(155).Load("xrpc.state", 17).Store("xrpc.state", 9)
+	b.Call("mselect_push")
+	b.Ret()
+	return b.MustBuild()
+}
+
+// xrpcDemuxModel is the completion path on the client: account the finished
+// call and start the next one; on the server the service handler runs here.
+func xrpcDemuxModel() *code.Function {
+	b := code.NewBuilder("xrpctest_demux", code.ClassPath).Frame(2)
+	b.ALU(112).Load("xrpc.state", 17).Store("xrpc.state", 17)
+	b.Cond("rpc.respond", "next", "done")
+	b.Block("next").ALU(43).Call("xrpctest_call").Ret()
+	b.Block("done").ALU(68).Ret()
+	return b.MustBuild()
+}
+
+func mselectPushModel() *code.Function {
+	b := code.NewBuilder("mselect_push", code.ClassPath).Frame(2)
+	b.ALU(100).Load("mselect.svc", 9).Call("msg_push")
+	b.ALU(34).Call("vchan_push")
+	b.Ret()
+	return b.MustBuild()
+}
+
+func mselectDemuxModel() *code.Function {
+	b := code.NewBuilder("mselect_demux", code.ClassPath).Frame(2)
+	b.ALU(68).Call("msg_pop").Load("mselect.svc", 17).ALU(68)
+	b.Cond("rpc.nosvc", "nosvc", "dispatch")
+	b.Block("nosvc").Kind(code.BlockError).ALU(246).Ret()
+	b.Block("dispatch").ALU(43).CallRegister("xrpctest_demux")
+	// On the server, the service's reply goes back down through CHAN.
+	b.Cond("rpc.isserver", "reply", "out")
+	b.Block("reply").ALU(43).Call("chan_reply").Ret()
+	b.Block("out").ALU(13).Ret()
+	return b.MustBuild()
+}
+
+func vchanPushModel() *code.Function {
+	b := code.NewBuilder("vchan_push", code.ClassPath).Frame(2)
+	b.ALU(91).Load("vchan.pool", 17)
+	b.Cond("rpc.nochan", "grow", "use")
+	b.Block("grow").Kind(code.BlockError).ALU(294).Call("malloc").Jump("use")
+	b.Block("use").ALU(57).Store("vchan.pool", 17).Call("msg_push")
+	b.ALU(34).Call("chan_push")
+	b.Ret()
+	return b.MustBuild()
+}
+
+func vchanDemuxModel() *code.Function {
+	b := code.NewBuilder("vchan_demux", code.ClassPath).Frame(1)
+	b.ALU(57).Call("msg_pop").Load("vchan.pool", 17).ALU(68).Store("vchan.pool", 9)
+	b.CallRegister("mselect_demux")
+	b.Ret()
+	return b.MustBuild()
+}
+
+// chanPushModel sends a request: sequence assignment, retention for
+// retransmit, timer arm.
+func chanPushModel() *code.Function {
+	b := code.NewBuilder("chan_push", code.ClassPath).Frame(3)
+	b.ALU(134).Load("chan.state", 29).Store("chan.state", 29)
+	b.Call("msg_push")
+	b.ALU(43).Call("evt_schedule")
+	// Block the calling thread until the reply (continuation).
+	b.ALU(91).Store("chan.state", 17)
+	b.Call("bid_push")
+	b.Ret()
+	return b.MustBuild()
+}
+
+// chanDemuxModel receives requests and replies.
+func chanDemuxModel() *code.Function {
+	b := code.NewBuilder("chan_demux", code.ClassPath).Frame(3)
+	b.ALU(91).Call("msg_pop").Load("chan.state", 29)
+	b.Cond("rpc.isreply", "reply", "request")
+
+	// Client side: match the sequence, cancel the timer, wake the caller.
+	b.Block("reply").ALU(91)
+	b.Cond("rpc.seq_stale", "stale", "wake")
+	b.Block("stale").Kind(code.BlockError).ALU(316).Ret()
+	b.Block("wake").ALU(68).Call("evt_cancel").Call("thread_signal").Call("stack_attach")
+	b.ALU(43).CallRegister("vchan_demux")
+	b.Ret()
+
+	// Server side: duplicate suppression, then up.
+	b.Block("request").ALU(91)
+	b.Cond("rpc.dup", "dup", "fresh")
+	b.Block("dup").Kind(code.BlockError).ALU(337).Call("chan_reply").Ret()
+	b.Block("fresh").ALU(68).Store("chan.state", 17).CallRegister("vchan_demux")
+	b.Ret()
+	return b.MustBuild()
+}
+
+// chanReplyModel is the server's reply path: build the reply PDU, cache it,
+// send it down.
+func chanReplyModel() *code.Function {
+	b := code.NewBuilder("chan_reply", code.ClassPath).Frame(2)
+	b.ALU(112).Store("chan.state", 29).Call("msg_push")
+	b.ALU(34).Call("bid_push")
+	b.Ret()
+	return b.MustBuild()
+}
+
+func chanTimeoutModel() *code.Function {
+	b := code.NewBuilder("chan_timeout", code.ClassPath).Frame(2)
+	b.ALU(225).Load("chan.state", 29).Call("evt_schedule")
+	b.ALU(68).Call("bid_push")
+	b.Ret()
+	return b.MustBuild()
+}
+
+func bidPushModel() *code.Function {
+	b := code.NewBuilder("bid_push", code.ClassPath).Frame(1)
+	b.ALU(68).Load("bid.state", 17).Call("msg_push")
+	b.ALU(23).Call("blast_push")
+	b.Ret()
+	return b.MustBuild()
+}
+
+func bidDemuxModel() *code.Function {
+	b := code.NewBuilder("bid_demux", code.ClassPath).Frame(1)
+	b.ALU(57).Call("msg_pop").Load("bid.state", 17).ALU(68)
+	b.Cond("rpc.stale_boot", "stale", "ok")
+	b.Block("stale").Kind(code.BlockError).ALU(380).Ret()
+	b.Block("ok").ALU(23).Store("bid.state", 9).CallRegister("chan_demux")
+	b.Ret()
+	return b.MustBuild()
+}
+
+// blastPushModel transmits: the single-fragment fast path plus the
+// fragmentation machinery that zero-sized RPCs never enter.
+func blastPushModel() *code.Function {
+	b := code.NewBuilder("blast_push", code.ClassPath).Frame(3)
+	b.ALU(134).Load("blast.state", 29).Store("blast.state", 17)
+	b.Cond("rpc.multifrag", "frag", "single")
+	// Unrolled fragmentation loop: outlinable (§3.1 case 3).
+	b.Block("frag").Kind(code.BlockUnrolled).ALU(1080).Store("blast.state", 55).Jump("single")
+	b.Block("single").ALU(68).Call("msg_push")
+	b.ALU(43).Call("vnet_push")
+	b.Ret()
+	return b.MustBuild()
+}
+
+func blastDemuxModel() *code.Function {
+	b := code.NewBuilder("blast_demux", code.ClassPath).Frame(3)
+	b.ALU(91).Call("msg_pop").Load("blast.state", 29)
+	b.Cond("rpc.isnack", "nack", "datafrag")
+	b.Block("nack").Kind(code.BlockError).ALU(450).Call("blast_err").Ret()
+	b.Block("datafrag").ALU(68)
+	b.Cond("rpc.multifrag", "reasm", "fast")
+	// Reassembly bookkeeping: legitimate mainline code, rarely run.
+	b.Block("reasm").ALU(941).Store("blast.state", 55).Call("evt_schedule").Jump("fast")
+	b.Block("fast").ALU(57).CallRegister("bid_demux")
+	b.Ret()
+	return b.MustBuild()
+}
+
+// blastErrModel services NACKs: look up retained fragments and resend.
+func blastErrModel() *code.Function {
+	b := code.NewBuilder("blast_err", code.ClassPath).Frame(2)
+	b.ALU(337).Load("blast.state", 38).Store("blast.state", 17)
+	b.Call("vnet_push")
+	b.Ret()
+	return b.MustBuild()
+}

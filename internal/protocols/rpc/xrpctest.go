@@ -1,0 +1,89 @@
+package rpc
+
+import (
+	"fmt"
+
+	"repro/internal/xkernel"
+)
+
+// echoSelector is the test service number.
+const echoSelector = 7
+
+// XRPCTest is the ping-pong test protocol at the top of the RPC stack: the
+// client performs zero-sized RPC requests, the server responds with a
+// zero-sized reply (§2.1).
+type XRPCTest struct {
+	H  *xkernel.Host
+	MS *Mselect
+
+	IsServer bool
+
+	WantCalls int
+	Completed int
+	// Stamps records completion times of each call, in cycles.
+	Stamps []uint64
+	OnDone func()
+	// OnRoundtrip fires after each completed call with the count so far.
+	OnRoundtrip func(n int)
+
+	// ServerCalls counts handled requests on the server side.
+	ServerCalls int
+}
+
+// NewClient builds the calling side.
+func NewClient(h *xkernel.Host, ms *Mselect, calls int) *XRPCTest {
+	x := &XRPCTest{H: h, MS: ms, WantCalls: calls}
+	h.Graph.Connect("XRPCTEST", "MSELECT")
+	return x
+}
+
+// NewServer builds the serving side and registers the echo service.
+func NewServer(h *xkernel.Host, ms *Mselect) *XRPCTest {
+	x := &XRPCTest{H: h, MS: ms, IsServer: true}
+	ms.RegisterService(echoSelector, func(req []byte) []byte {
+		x.ServerCalls++
+		return nil // zero-sized reply
+	})
+	h.Graph.Connect("XRPCTEST", "MSELECT")
+	return x
+}
+
+// WillRespond reports whether the next completion triggers another call —
+// the condition closure for the test-protocol model.
+func (x *XRPCTest) WillRespond() bool {
+	if x.IsServer {
+		return true
+	}
+	return x.Completed+1 < x.WantCalls
+}
+
+// Start issues the first call.
+func (x *XRPCTest) Start() {
+	x.H.BeginEvent(nil)
+	x.H.SetStack(x.H.Threads.AcquireStack())
+	x.H.RunModel("xrpctest_call")
+	x.call()
+}
+
+func (x *XRPCTest) call() {
+	err := x.MS.Call(echoSelector, nil, func(reply []byte) {
+		x.Completed++
+		x.Stamps = append(x.Stamps, x.H.Queue.Now())
+		if x.OnRoundtrip != nil {
+			x.OnRoundtrip(x.Completed)
+		}
+		if x.Completed < x.WantCalls {
+			x.call()
+			return
+		}
+		if x.OnDone != nil {
+			x.OnDone()
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("xrpctest: call: %v", err))
+	}
+}
+
+// Done reports whether the client finished.
+func (x *XRPCTest) Done() bool { return !x.IsServer && x.Completed >= x.WantCalls }

@@ -1,0 +1,201 @@
+package tcpip
+
+import (
+	"fmt"
+
+	"repro/internal/protocols/wire"
+	"repro/internal/xkernel"
+)
+
+// IP implements IPv4 encapsulation, checksum verification, fragmentation
+// and reassembly, and upward demultiplexing by protocol number.
+type IP struct {
+	H     *xkernel.Host
+	VNet  *VNet
+	Local wire.IPAddr
+
+	uppers map[uint8]xkernel.Protocol
+	nextID uint16
+
+	// reasm holds partially reassembled datagrams keyed by (src, id).
+	reasm map[reasmKey]*reasmBuf
+
+	// Stats.
+	RxDatagrams, TxDatagrams, Fragmented, Reassembled, ChecksumErrs int
+}
+
+type reasmKey struct {
+	src wire.IPAddr
+	id  uint16
+}
+
+type reasmBuf struct {
+	parts map[int][]byte // fragment offset (bytes) -> payload
+	total int            // total length once the last fragment arrives, else -1
+	proto uint8
+}
+
+// NewIP builds the IP layer for the given local address.
+func NewIP(h *xkernel.Host, v *VNet, local wire.IPAddr) *IP {
+	ip := &IP{
+		H:      h,
+		VNet:   v,
+		Local:  local,
+		uppers: map[uint8]xkernel.Protocol{},
+		reasm:  map[reasmKey]*reasmBuf{},
+		nextID: 1,
+	}
+	h.Graph.Connect("IP", "VNET")
+	return ip
+}
+
+// Name implements xkernel.Protocol.
+func (ip *IP) Name() string { return "IP" }
+
+// Register installs the protocol receiving datagrams of the given protocol
+// number.
+func (ip *IP) Register(proto uint8, up xkernel.Protocol) {
+	ip.uppers[proto] = up
+	ip.H.Graph.Connect(up.Name(), "IP")
+}
+
+// maxPayload is the largest IP payload per fragment, 8-byte aligned as the
+// fragment-offset encoding requires.
+const maxPayload = (wire.EthMTU - wire.IPHeaderLen) &^ 7
+
+// Push encapsulates and sends a datagram, fragmenting when the payload
+// exceeds the Ethernet MTU.
+func (ip *IP) Push(m *xkernel.Msg, proto uint8, dst wire.IPAddr) error {
+	ip.TxDatagrams++
+	id := ip.nextID
+	ip.nextID++
+	if m.Len() <= maxPayload {
+		return ip.pushFragment(m, proto, dst, id, 0, false)
+	}
+	// Fragment: split the payload into MTU-sized pieces.
+	data := append([]byte(nil), m.Bytes()...)
+	m.Destroy()
+	ip.Fragmented++
+	for off := 0; off < len(data); off += maxPayload {
+		end := off + maxPayload
+		more := true
+		if end >= len(data) {
+			end = len(data)
+			more = false
+		}
+		frag := xkernel.NewMsgData(ip.H.Alloc, data[off:end])
+		if err := ip.pushFragment(frag, proto, dst, id, off, more); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ip *IP) pushFragment(m *xkernel.Msg, proto uint8, dst wire.IPAddr, id uint16, off int, more bool) error {
+	h := wire.IPHeader{
+		TotalLen: uint16(wire.IPHeaderLen + m.Len()),
+		ID:       id,
+		TTL:      wire.IPDefaultTTL,
+		Proto:    proto,
+		Src:      ip.Local,
+		Dst:      dst,
+	}
+	h.FragOff = uint16(off / 8)
+	if more {
+		h.FragOff |= wire.IPFlagMF
+	}
+	if err := m.Push(h.Marshal()); err != nil {
+		return err
+	}
+	return ip.VNet.Push(m, dst, wire.EtherTypeIP)
+}
+
+// Demux verifies and strips the IP header, reassembles fragments, and
+// dispatches to the registered upper protocol.
+func (ip *IP) Demux(m *xkernel.Msg) error {
+	raw, err := m.Peek(wire.IPHeaderLen)
+	if err != nil {
+		return err
+	}
+	h, err := wire.UnmarshalIP(raw)
+	if err != nil {
+		ip.ChecksumErrs++
+		return err
+	}
+	if _, err := m.Pop(wire.IPHeaderLen); err != nil {
+		return err
+	}
+	if h.Dst != ip.Local {
+		return nil // not addressed to this host
+	}
+	// Trim Ethernet minimum-frame padding.
+	payloadLen := int(h.TotalLen) - wire.IPHeaderLen
+	if payloadLen < 0 || payloadLen > m.Len() {
+		return fmt.Errorf("ip: bad total length %d for %d-byte payload", h.TotalLen, m.Len())
+	}
+	if err := m.Truncate(payloadLen); err != nil {
+		return err
+	}
+
+	frag := h.FragOff&(wire.IPFlagMF|wire.IPFragOffMask) != 0
+	if frag {
+		done, err := ip.reassemble(&h, m)
+		if err != nil || !done {
+			return err
+		}
+		// reassemble replaced m's role; dispatch happens there.
+		return nil
+	}
+	ip.RxDatagrams++
+	up, ok := ip.uppers[h.Proto]
+	if !ok {
+		return fmt.Errorf("ip: no protocol %d", h.Proto)
+	}
+	m.NetSrc, m.NetDst = uint32(h.Src), uint32(h.Dst)
+	return up.Demux(m)
+}
+
+// reassemble collects fragments; when complete it dispatches the rebuilt
+// datagram and reports done.
+func (ip *IP) reassemble(h *wire.IPHeader, m *xkernel.Msg) (bool, error) {
+	key := reasmKey{src: h.Src, id: h.ID}
+	buf := ip.reasm[key]
+	if buf == nil {
+		buf = &reasmBuf{parts: map[int][]byte{}, total: -1, proto: h.Proto}
+		ip.reasm[key] = buf
+	}
+	off := int(h.FragOff&wire.IPFragOffMask) * 8
+	buf.parts[off] = append([]byte(nil), m.Bytes()...)
+	if h.FragOff&wire.IPFlagMF == 0 {
+		buf.total = off + m.Len()
+	}
+	if buf.total < 0 {
+		return false, nil
+	}
+	// Check contiguity.
+	have := 0
+	for o, p := range buf.parts {
+		if o+len(p) > buf.total {
+			return false, fmt.Errorf("ip: fragment overrun")
+		}
+		have += len(p)
+		_ = o
+	}
+	if have < buf.total {
+		return false, nil
+	}
+	data := make([]byte, buf.total)
+	for o, p := range buf.parts {
+		copy(data[o:], p)
+	}
+	delete(ip.reasm, key)
+	ip.Reassembled++
+	ip.RxDatagrams++
+	up, ok := ip.uppers[buf.proto]
+	if !ok {
+		return true, fmt.Errorf("ip: no protocol %d", buf.proto)
+	}
+	whole := xkernel.NewMsgData(ip.H.Alloc, data)
+	whole.NetSrc, whole.NetDst = uint32(h.Src), uint32(h.Dst)
+	return true, up.Demux(whole)
+}

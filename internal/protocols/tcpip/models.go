@@ -1,0 +1,355 @@
+package tcpip
+
+import (
+	"fmt"
+
+	"repro/internal/code"
+	"repro/internal/protocols/features"
+)
+
+// Models returns the TCP/IP stack's path-function code models for the given
+// feature set. Together with the library models (internal/models) and the
+// driver models (internal/lance) they form the program image the layout
+// techniques operate on.
+//
+// Instruction mixes are scaled to the paper's measurements: roughly 4,700
+// dynamic instructions per roundtrip on the improved stack with a dense
+// data-reference mix, a static path large enough that it cannot stay
+// i-cache resident across invocations, and roughly a third of the static
+// path in outlinable error and exceptional-case blocks. Error checks are
+// sprinkled through the mainline the way low-level systems code carries
+// them ("up to 50% error checking/handling code", §3.1).
+func Models(feat features.Set) []*code.Function {
+	return []*code.Function{
+		tcptestPushModel(),
+		tcptestDemuxModel(),
+		tcpPushModel(feat),
+		tcpDemuxModel(feat),
+		tcpInputModel(feat),
+		tcpRetransmitModel(),
+		ipPushModel(feat),
+		ipDemuxModel(feat),
+		vnetPushModel(),
+		ethPushModel(),
+		ethDemuxModel("ip_demux"),
+		ethFilterModel(),
+	}
+}
+
+// PathFuncs lists the path functions in input-then-output invocation order,
+// the order the bipartite layout packs them in.
+func PathFuncs() []string {
+	return []string{
+		"lance_rx", "eth_demux", "ip_demux", "tcp_demux", "tcp_input",
+		"tcptest_demux", "tcptest_push", "tcp_push", "ip_push",
+		"vnet_push", "eth_push", "lance_tx", "lance_post",
+	}
+}
+
+// InlineRoots returns the root and the inlinable set for path-inlining: the
+// paper collapses the stack into one input and one output function; since
+// our input path model tail-calls the output path, inlining everything into
+// lance_rx reproduces that split.
+func InlineRoots() (inRoot string, inlinable []string) {
+	return "lance_rx", []string{
+		"eth_demux", "ip_demux", "tcp_demux", "tcp_input", "tcptest_demux",
+		"tcptest_push", "tcp_push", "ip_push", "vnet_push", "eth_push",
+		"lance_tx",
+	}
+}
+
+// subword adds the extract/insert overhead of byte/short structure fields
+// on the first Alpha generations: every sub-word access needs a wider load
+// plus extract (read) or load/insert/store (write) sequences (§2.2.4).
+func subword(b *code.Builder, feat features.Set, accesses int) {
+	if feat.WordSizedTCPState {
+		return
+	}
+	b.ALU(5*accesses).Load("tcp.tcb", accesses/2)
+}
+
+// guard emits a mainline error check: the test itself plus a small inline
+// error block right behind it, source-order style. Without outlining the
+// good path takes a branch around the block every time; outlining moves the
+// block behind the function and straightens the mainline. The conditions
+// are unbound and therefore false (the errors never fire).
+func guard(b *code.Builder, label string, errInstrs int) {
+	ok := label + "$ok"
+	fail := label + "$err"
+	b.Cond(label+"$bad", fail, ok)
+	b.Block(fail).Kind(code.BlockError).ALU(errInstrs).Ret()
+	b.Block(ok)
+}
+
+// chew emits a mainline stretch of n instructions with the data-reference
+// density of protocol code (~25% loads, ~15% stores against obj) broken up
+// by the given number of inline error checks.
+func chew(b *code.Builder, label string, n int, obj string, guards int) {
+	per := n / (guards + 1)
+	for g := 0; g <= guards; g++ {
+		b.ALU(per*6/10).Load(obj, per*25/100+1).Store(obj, per*15/100+1)
+		if g < guards {
+			guard(b, fmt.Sprintf("%s%d", label, g), 8+3*g)
+		}
+	}
+}
+
+func tcptestPushModel() *code.Function {
+	b := code.NewBuilder("tcptest_push", code.ClassPath).Frame(2)
+	chew(b, "ttp", 140, "test.state", 1)
+	b.Call("msg_push")
+	b.ALU(22)
+	b.Call("tcp_push")
+	b.Ret()
+	return b.MustBuild()
+}
+
+func tcptestDemuxModel() *code.Function {
+	b := code.NewBuilder("tcptest_demux", code.ClassPath).Frame(2)
+	chew(b, "ttd", 93, "test.state", 1)
+	b.Cond("test.respond", "respond", "done")
+	b.Block("respond").ALU(14).Call("tcptest_push").Ret()
+	b.Block("done").ALU(28).Ret()
+	return b.MustBuild()
+}
+
+// tcpPushModel is tcp_output: header construction, window-update check,
+// congestion bookkeeping, checksum, retransmission arming.
+func tcpPushModel(feat features.Set) *code.Function {
+	b := code.NewBuilder("tcp_push", code.ClassPath).Frame(6)
+	// State checks, sequence-number computation, flag assembly.
+	chew(b, "tpo", 264, "tcp.tcb", 3)
+	subword(b, feat, 10)
+	b.Cond("tcp.sendable", "win", "nosend")
+	b.Block("nosend").Kind(code.BlockError).ALU(148).Ret()
+
+	// Window-update check: 35% with multiply+divide, or ~33% with a
+	// shift and add (2.2.2).
+	b.Block("win")
+	if feat.AvoidDivision {
+		b.ALU(24)
+	} else {
+		b.ALU(11).Mul().Call("divrem").ALU(14)
+	}
+
+	// Header build: 20 bytes of stores plus field marshalling.
+	chew(b, "tph", 186, "tcp.seg", 2)
+	b.Store("tcp.seg", 10).Load("tcp.tcb", 8)
+	subword(b, feat, 8)
+	// Checksum over pseudo-header + segment.
+	b.ALU(28).Call("in_cksum").Store("tcp.seg", 2)
+
+	// Congestion window check on output.
+	if feat.AvoidDivision {
+		b.Cond("tcp.cwnd_open", "arm", "cwnd_adj")
+		b.Block("cwnd_adj").ALU(22).Mul().Call("divrem").ALU(22).Store("tcp.tcb", 4).Jump("arm")
+	} else {
+		b.ALU(14).Mul().Call("divrem").ALU(22).Store("tcp.tcb", 4).Jump("arm")
+	}
+
+	// Retain for retransmit, arm the timer, and go down the stack.
+	b.Block("arm")
+	chew(b, "tpa", 124, "tcp.tcb", 1)
+	b.Call("bcopy") // retain segment copy for retransmission
+	b.Call("evt_schedule")
+	b.ALU(22).Call("ip_push")
+	b.Ret()
+
+	// Exceptional cases kept inside this big function, as in BSD TCP.
+	b.Block("persist").Kind(code.BlockError).ALU(230).Ret()
+	b.Block("zerownd").Kind(code.BlockError).ALU(176).Ret()
+	return b.MustBuild()
+}
+
+// tcpDemuxModel finds the control block: checksum, then the demux lookup
+// with the conditionally-inlined one-entry cache test (2.2.3).
+func tcpDemuxModel(feat features.Set) *code.Function {
+	b := code.NewBuilder("tcp_demux", code.ClassPath).Frame(4)
+	b.ALU(35).Call("msg_pop")
+	chew(b, "tdx", 108, "tcp.seg", 1)
+	subword(b, feat, 6)
+	b.Call("in_cksum")
+	b.Cond("tcp.cksum_bad", "ckerr", "lookup")
+	b.Block("ckerr").Kind(code.BlockError).ALU(128).Ret()
+
+	b.Block("lookup").ALU(28)
+	if feat.InlinedMapCacheTest {
+		// Inlined cache test: about a third of the instructions of the
+		// general lookup when it hits.
+		b.Load("map.cache", 4).ALU(18)
+		b.Cond("tcp.cache_miss", "slow_lookup", "found")
+		b.Block("slow_lookup").ALU(7).Call("map_resolve").Jump("found")
+	} else {
+		b.Call("map_resolve")
+	}
+	b.Block("found").ALU(22).Load("tcp.tcb", 4)
+	b.Cond("tcp.estab", "est", "slowpath")
+
+	// Connection establishment / teardown handled inline by this big
+	// function: mainline code that is rarely executed, exactly the
+	// structure that makes TCP's i-cache footprint large.
+	b.Block("slowpath").ALU(405).Store("tcp.tcb", 26).Call("map_bind").ALU(176).Call("tcp_input").Ret()
+
+	b.Block("est").ALU(14).Call("tcp_input").Ret()
+
+	b.Block("noconn").Kind(code.BlockError).ALU(155).Ret()
+	return b.MustBuild()
+}
+
+// tcpInputModel is tcp_input after inpcblookup: ACK processing, sequence
+// check, data delivery, window bookkeeping.
+func tcpInputModel(feat features.Set) *code.Function {
+	b := code.NewBuilder("tcp_input", code.ClassPath).Frame(6)
+	// Header field extraction and sanity checks.
+	chew(b, "tin", 279, "tcp.seg", 3)
+	b.Load("tcp.tcb", 12)
+	subword(b, feat, 14)
+	b.Cond("tcp.flags_odd", "flagslow", "ack")
+	b.Block("flagslow").Kind(code.BlockError).ALU(202).Ret()
+
+	// Sender-side housekeeping: ACK advances una, timers, congestion.
+	b.Block("ack")
+	chew(b, "tia", 108, "tcp.tcb", 1)
+	b.Cond("tcp.ack_advances", "ackadv", "seq")
+	b.Block("ackadv").ALU(49).Store("tcp.tcb", 8).Call("evt_cancel")
+	if feat.AvoidDivision {
+		b.Cond("tcp.cwnd_open", "seq", "cwnd_adj")
+		b.Block("cwnd_adj").ALU(28).Mul().Call("divrem").ALU(14).Store("tcp.tcb", 4).Jump("seq")
+	} else {
+		b.ALU(22).Mul().Call("divrem").ALU(14).Store("tcp.tcb", 4).Jump("seq")
+	}
+
+	// Receiver-side housekeeping: in-order test and data delivery.
+	b.Block("seq")
+	chew(b, "tis", 93, "tcp.tcb", 1)
+	subword(b, feat, 6)
+	b.Cond("tcp.seq_ok", "deliver", "ooo")
+	b.Block("ooo").ALU(142).Store("tcp.tcb", 4).Ret() // duplicate: re-ack via output side
+
+	b.Block("deliver")
+	chew(b, "tid", 140, "tcp.seg", 1)
+	b.Call("bcopy").Store("tcp.tcb", 10)
+	// Window bookkeeping for the update decision.
+	chew(b, "tiw", 93, "tcp.tcb", 1)
+	subword(b, feat, 4)
+	b.Cond("tcp.fin", "fin", "up")
+	b.Block("fin").ALU(169).Store("tcp.tcb", 8).Jump("up")
+	b.Block("up").ALU(22).Call("tcptest_demux")
+	b.Ret()
+
+	// Exceptional cases: RST, out-of-window, urgent data, options.
+	b.Block("rst").Kind(code.BlockError).ALU(142).Ret()
+	b.Block("outwin").Kind(code.BlockError).ALU(169).Ret()
+	b.Block("urg").Kind(code.BlockError).ALU(97).Ret()
+	b.Block("opts").Kind(code.BlockError).ALU(148).Ret()
+	return b.MustBuild()
+}
+
+func tcpRetransmitModel() *code.Function {
+	b := code.NewBuilder("tcp_retransmit", code.ClassPath).Frame(4)
+	b.ALU(103).Load("tcp.tcb", 11).Store("tcp.tcb", 11)
+	b.Call("evt_schedule")
+	b.ALU(26).Call("ip_push")
+	b.Ret()
+	return b.MustBuild()
+}
+
+// ipPushModel is IP output: header build, checksum, fragmentation check.
+func ipPushModel(feat features.Set) *code.Function {
+	b := code.NewBuilder("ip_push", code.ClassPath).Frame(3)
+	chew(b, "ipo", 170, "ip.hdr", 2)
+	b.Store("ip.hdr", 5).Load("ip.state", 2).Store("ip.state", 1)
+	b.Call("in_cksum").Store("ip.hdr", 1)
+	b.ALU(20)
+	b.Cond("ip.needfrag", "frag", "route")
+	// The fragmentation loop is unrolled in the fast path and never
+	// entered for latency-sized messages: a 3.1 outlining case.
+	b.Block("frag").Kind(code.BlockUnrolled).ALU(351).Store("ip.state", 19).Jump("route")
+	b.Block("route")
+	chew(b, "ipr", 62, "ip.state", 0)
+	if !feat.MiscInlining {
+		// Without inlining, the trivial route accessor is a call.
+		b.Call("map_resolve")
+	} else {
+		b.ALU(11).Load("ip.state", 2)
+	}
+	b.Call("vnet_push")
+	b.Ret()
+	return b.MustBuild()
+}
+
+// ipDemuxModel is ipintr: validation, checksum, reassembly check, demux.
+func ipDemuxModel(feat features.Set) *code.Function {
+	b := code.NewBuilder("ip_demux", code.ClassPath).Frame(3)
+	b.ALU(27).Call("msg_pop")
+	chew(b, "ipd", 170, "ip.hdr", 2)
+	b.Call("in_cksum")
+	b.Cond("ip.bad", "bad", "fragq")
+	b.Block("bad").Kind(code.BlockError).ALU(135).Ret()
+	b.Block("fragq").ALU(22)
+	b.Cond("ip.isfrag", "reasm", "demux")
+	// Reassembly: legitimate but rarely executed mainline code.
+	b.Block("reasm").ALU(392).Load("ip.state", 19).Store("ip.state", 19).Jump("demux")
+	b.Block("demux")
+	chew(b, "ipm", 62, "ip.state", 0)
+	if !feat.MiscInlining {
+		b.Call("map_resolve")
+	} else {
+		b.ALU(14).Load("ip.state", 2)
+	}
+	b.CallRegister("tcp_demux")
+	b.Ret()
+	return b.MustBuild()
+}
+
+// vnetPushModel: route the outgoing message to the right adaptor; the
+// whole layer is a table lookup and a call.
+func vnetPushModel() *code.Function {
+	b := code.NewBuilder("vnet_push", code.ClassPath).Frame(1)
+	b.ALU(30).Load("vnet.routes", 4)
+	b.Call("eth_push")
+	b.Ret()
+	return b.MustBuild()
+}
+
+func ethPushModel() *code.Function {
+	b := code.NewBuilder("eth_push", code.ClassPath).Frame(2)
+	chew(b, "epu", 108, "eth.hdr", 1)
+	b.Call("msg_push").Store("eth.hdr", 5).Load("eth.state", 2)
+	b.ALU(14).Call("lance_tx")
+	b.Ret()
+	return b.MustBuild()
+}
+
+// EthPushModel exposes the device-independent Ethernet output model for
+// stacks sharing the ETH layer (the RPC configuration).
+func EthPushModel() *code.Function { return ethPushModel() }
+
+// EthDemuxModel exposes the Ethernet demux model with a stack-specific
+// upward dispatch target.
+func EthDemuxModel(upDemux string) *code.Function { return ethDemuxModel(upDemux) }
+
+// VnetPushModel exposes the VNET output model.
+func VnetPushModel() *code.Function { return vnetPushModel() }
+
+// ethDemuxModel dispatches on the type field; upDemux is stack-specific.
+func ethDemuxModel(upDemux string) *code.Function {
+	b := code.NewBuilder("eth_demux", code.ClassPath).Frame(2)
+	b.ALU(20).Call("msg_pop")
+	chew(b, "edx", 85, "eth.hdr", 1)
+	b.Cond("eth.unknown_type", "unknown", "up")
+	b.Block("unknown").Kind(code.BlockError).ALU(74).Ret()
+	b.Block("up").ALU(11).CallRegister(upDemux)
+	b.Ret()
+	return b.MustBuild()
+}
+
+// ethFilterModel models the address-filter helper of the receive side.
+func ethFilterModel() *code.Function {
+	b := code.NewBuilder("eth_filter", code.ClassPath).Frame(1)
+	b.ALU(27).Load("eth.hdr", 4)
+	b.Cond("eth.notme", "drop", "keep")
+	b.Block("drop").Kind(code.BlockError).ALU(38).Ret()
+	b.Block("keep").ALU(7).Ret()
+	return b.MustBuild()
+}

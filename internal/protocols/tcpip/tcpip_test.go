@@ -1,0 +1,441 @@
+package tcpip
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/code"
+	"repro/internal/lance"
+	"repro/internal/models"
+	"repro/internal/netsim"
+	"repro/internal/protocols/features"
+	"repro/internal/protocols/wire"
+	"repro/internal/sim/cpu"
+	"repro/internal/sim/mem"
+	"repro/internal/xkernel"
+)
+
+var (
+	clientMAC = wire.MACAddr{0x08, 0x00, 0x2b, 0x01, 0x02, 0x03}
+	serverMAC = wire.MACAddr{0x08, 0x00, 0x2b, 0x04, 0x05, 0x06}
+	clientIP  = wire.IPAddr(0xc0a80001)
+	serverIP  = wire.IPAddr(0xc0a80002)
+)
+
+// buildProgram links the full TCP/IP model image.
+func buildProgram(t *testing.T, feat features.Set) *code.Program {
+	t.Helper()
+	p := code.NewProgram()
+	p.MustAdd(models.Library(feat.RefreshShortCircuit)...)
+	p.MustAdd(lance.Models("eth_demux", feat.UseUSC)...)
+	p.MustAdd(Models(feat)...)
+	if err := p.Link(); err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	return p
+}
+
+// newPair wires a client and server stack over one link. withModels attaches
+// engines executing the code models.
+func newPair(t *testing.T, feat features.Set, withModels bool, roundtrips int) (*Stack, *Stack, *xkernel.EventQueue) {
+	t.Helper()
+	q := xkernel.NewEventQueue()
+	link := netsim.NewLink(q)
+	var progC, progS *code.Program
+	if withModels {
+		progC = buildProgram(t, feat)
+		progS = buildProgram(t, feat)
+	}
+	mkHost := func(name string, prog *code.Program) *xkernel.Host {
+		h := mem.New(arch.DEC3000_600())
+		c := cpu.New(h)
+		var eng *code.Engine
+		if prog != nil {
+			eng = code.NewEngine(c, prog)
+		}
+		return xkernel.NewHost(name, c, h, eng, q, 0)
+	}
+	client := Build(mkHost("client", progC), link, clientMAC, clientIP, feat, false, roundtrips)
+	server := Build(mkHost("server", progS), link, serverMAC, serverIP, feat, true, 0)
+	Connect(client, server)
+	return client, server, q
+}
+
+func runToCompletion(t *testing.T, client, server *Stack, q *xkernel.EventQueue, maxSteps int) {
+	t.Helper()
+	client.StartClient(server)
+	q.Run(maxSteps)
+	if !client.Test.Done() {
+		t.Fatalf("ping-pong incomplete: %d/%d roundtrips (link %v)",
+			client.Test.Completed, client.Test.WantRoundtrips, "")
+	}
+}
+
+func TestHandshakeAndPingPong(t *testing.T) {
+	client, server, q := newPair(t, features.Improved(), false, 50)
+	runToCompletion(t, client, server, q, 10000)
+	if client.Test.Conn.State != StateEstablished {
+		t.Fatalf("client state = %v", client.Test.Conn.State)
+	}
+	if server.TCP.SegsIn == 0 || client.TCP.SegsIn == 0 {
+		t.Fatal("no segments processed")
+	}
+	if client.TCP.Retransmits != 0 || server.TCP.Retransmits != 0 {
+		t.Fatalf("spurious retransmissions: %d/%d", client.TCP.Retransmits, server.TCP.Retransmits)
+	}
+	if client.TCP.ChecksumErrs != 0 || server.TCP.ChecksumErrs != 0 {
+		t.Fatal("checksum errors on a clean link")
+	}
+}
+
+func TestAcksPiggybackDuringPingPong(t *testing.T) {
+	client, server, q := newPair(t, features.Improved(), false, 100)
+	runToCompletion(t, client, server, q, 20000)
+	// During steady-state ping-pong every ack rides on data; only the
+	// handshake and the final exchange produce pure acks.
+	if client.TCP.PureAcks > 3 {
+		t.Fatalf("client sent %d pure acks; acks are not piggybacking", client.TCP.PureAcks)
+	}
+	if server.TCP.PureAcks > 3 {
+		t.Fatalf("server sent %d pure acks", server.TCP.PureAcks)
+	}
+}
+
+func TestRetransmissionOnLoss(t *testing.T) {
+	client, server, q := newPair(t, features.Improved(), false, 20)
+	link := client.Dev.Link
+	dropped := false
+	frameN := 0
+	link.Drop = func(frame []byte) bool {
+		frameN++
+		if frameN == 5 && !dropped { // first data segment after handshake
+			dropped = true
+			return true
+		}
+		return false
+	}
+	client.StartClient(server)
+	// Allow virtual time for the retransmission timeout.
+	q.Run(50000)
+	if !client.Test.Done() {
+		t.Fatalf("ping-pong incomplete after loss: %d/%d", client.Test.Completed, client.Test.WantRoundtrips)
+	}
+	if client.TCP.Retransmits+server.TCP.Retransmits == 0 {
+		t.Fatal("loss did not trigger retransmission")
+	}
+	if !dropped {
+		t.Fatal("fault injection never fired")
+	}
+}
+
+func TestCorruptedSegmentRejected(t *testing.T) {
+	client, server, q := newPair(t, features.Improved(), false, 10)
+	link := client.Dev.Link
+	frameN := 0
+	link.Drop = func(frame []byte) bool {
+		frameN++
+		if frameN == 5 && len(frame) > 54 {
+			// Flip a bit in the TCP payload (byte 54: after the 14-byte
+			// Ethernet and 20-byte IP and TCP headers — the rest of the
+			// frame is minimum-size padding outside the checksums). The
+			// frame still arrives but TCP must reject it;
+			// retransmission recovers.
+			frame[54] ^= 0x40
+		}
+		return false
+	}
+	client.StartClient(server)
+	q.Run(50000)
+	if !client.Test.Done() {
+		t.Fatalf("incomplete after corruption: %d/%d", client.Test.Completed, client.Test.WantRoundtrips)
+	}
+	if client.TCP.ChecksumErrs+server.TCP.ChecksumErrs == 0 {
+		t.Fatal("corrupted segment was not detected")
+	}
+}
+
+func TestSequenceNumbersAdvance(t *testing.T) {
+	client, server, q := newPair(t, features.Improved(), false, 25)
+	runToCompletion(t, client, server, q, 10000)
+	c := client.Test.Conn
+	// 1 SYN + 25 one-byte payloads.
+	if got := c.sndNxt - c.iss; got != 26 {
+		t.Fatalf("client consumed %d sequence numbers, want 26", got)
+	}
+	if c.sndUna != c.sndNxt {
+		t.Fatal("client finished with unacknowledged data")
+	}
+}
+
+func TestWindowUpdateVariantsAgree(t *testing.T) {
+	// The 35% mul/div and ~33% shift/add variants must behave the same
+	// operationally: same roundtrips, same segment counts.
+	run := func(feat features.Set) (int, int) {
+		client, server, q := newPair(t, feat, false, 30)
+		runToCompletion(t, client, server, q, 10000)
+		return client.TCP.SegsOut, server.TCP.SegsOut
+	}
+	f1 := features.Improved()
+	f2 := features.Improved()
+	f2.AvoidDivision = false
+	c1, s1 := run(f1)
+	c2, s2 := run(f2)
+	if c1 != c2 || s1 != s2 {
+		t.Fatalf("window-update variant changed behaviour: %d/%d vs %d/%d", c1, s1, c2, s2)
+	}
+}
+
+func TestDivisionsAvoided(t *testing.T) {
+	client, server, q := newPair(t, features.Improved(), false, 40)
+	runToCompletion(t, client, server, q, 10000)
+	if client.TCP.Divisions != 0 {
+		t.Fatalf("improved stack executed %d divisions on the hot path", client.TCP.Divisions)
+	}
+	_ = server
+
+	client2, server2, q2 := newPair(t, features.Original(), false, 40)
+	runToCompletion(t, client2, server2, q2, 10000)
+	if client2.TCP.Divisions == 0 {
+		t.Fatal("original stack should divide on the hot path")
+	}
+	_ = server2
+}
+
+func TestIPFragmentationRoundtrip(t *testing.T) {
+	client, server, q := newPair(t, features.Improved(), false, 1)
+	// Register a raw consumer above IP on both sides.
+	got := make(chan []byte, 1)
+	sink := &rawSink{name: "SINK", fn: func(m *xkernel.Msg) { got <- append([]byte(nil), m.Bytes()...) }}
+	server.IP.Register(99, sink)
+
+	payload := make([]byte, 4000) // > MTU: must fragment into 3 pieces
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	client.Host.BeginEvent(nil)
+	m := xkernel.NewMsgData(client.Host.Alloc, payload)
+	if err := client.IP.Push(m, 99, server.IP.Local); err != nil {
+		t.Fatal(err)
+	}
+	q.Run(1000)
+	select {
+	case data := <-got:
+		if len(data) != len(payload) {
+			t.Fatalf("reassembled %d bytes, want %d", len(data), len(payload))
+		}
+		for i := range data {
+			if data[i] != payload[i] {
+				t.Fatalf("payload corrupted at byte %d", i)
+			}
+		}
+	default:
+		t.Fatal("fragmented datagram never reassembled")
+	}
+	if client.IP.Fragmented == 0 || server.IP.Reassembled == 0 {
+		t.Fatalf("fragmentation path not exercised: %d/%d", client.IP.Fragmented, server.IP.Reassembled)
+	}
+}
+
+type rawSink struct {
+	name string
+	fn   func(*xkernel.Msg)
+}
+
+func (r *rawSink) Name() string               { return r.name }
+func (r *rawSink) Demux(m *xkernel.Msg) error { r.fn(m); return nil }
+
+func TestUSCDescriptorsMatchCopyStyle(t *testing.T) {
+	// Functional equivalence of the two descriptor-update styles.
+	run := func(useUSC bool) int {
+		feat := features.Improved()
+		feat.UseUSC = useUSC
+		client, server, q := newPair(t, feat, false, 20)
+		runToCompletion(t, client, server, q, 10000)
+		return client.Dev.TxFrames + server.Dev.TxFrames
+	}
+	if a, b := run(true), run(false); a != b {
+		t.Fatalf("descriptor style changed traffic: %d vs %d frames", a, b)
+	}
+}
+
+func TestPingPongWithModels(t *testing.T) {
+	client, server, q := newPair(t, features.Improved(), true, 30)
+	runToCompletion(t, client, server, q, 20000)
+	cm := client.Host.CPU.Metrics()
+	if cm.Instructions == 0 {
+		t.Fatal("client executed no modeled instructions")
+	}
+	if cm.MCPI() <= 0 {
+		t.Fatalf("mCPI = %v, want positive", cm.MCPI())
+	}
+	// Roundtrip latency must exceed the physical floor: two controller+
+	// wire traversals (~105 us each).
+	st := client.Test.Stamps
+	if len(st) < 10 {
+		t.Fatalf("only %d stamps", len(st))
+	}
+	last := st[len(st)-1] - st[len(st)-2]
+	us := float64(last) / netsim.CyclesPerMicrosecond
+	if us < 210 {
+		t.Fatalf("roundtrip %v us is below the physical floor", us)
+	}
+	if us > 1000 {
+		t.Fatalf("roundtrip %v us is implausibly slow", us)
+	}
+}
+
+func TestModelsDeterministic(t *testing.T) {
+	c1, s1, q1 := newPair(t, features.Improved(), true, 20)
+	runToCompletion(t, c1, s1, q1, 20000)
+	c2, s2, q2 := newPair(t, features.Improved(), true, 20)
+	runToCompletion(t, c2, s2, q2, 20000)
+	if c1.Host.CPU.Metrics() != c2.Host.CPU.Metrics() {
+		t.Fatalf("non-deterministic client metrics:\n%v\n%v", c1.Host.CPU.Metrics(), c2.Host.CPU.Metrics())
+	}
+	if q1.Now() != q2.Now() {
+		t.Fatalf("non-deterministic completion time: %d vs %d", q1.Now(), q2.Now())
+	}
+}
+
+func TestImprovedStackExecutesFewerInstructions(t *testing.T) {
+	run := func(feat features.Set) uint64 {
+		client, server, q := newPair(t, feat, true, 30)
+		runToCompletion(t, client, server, q, 20000)
+		return client.Host.CPU.Metrics().Instructions
+	}
+	improved := run(features.Improved())
+	original := run(features.Original())
+	if improved >= original {
+		t.Fatalf("improved stack not shorter: %d vs %d instructions", improved, original)
+	}
+}
+
+func TestGraphTopology(t *testing.T) {
+	client, _, _ := newPair(t, features.Improved(), false, 1)
+	nodes := client.Host.Graph.Nodes()
+	want := map[string]bool{"TCPTEST": true, "TCP": true, "IP": true, "VNET": true, "ETH": true, "LANCE": true}
+	for _, n := range nodes {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing graph nodes: %v (have %v)", want, nodes)
+	}
+}
+
+func TestConnectionCloseHandshake(t *testing.T) {
+	client, server, q := newPair(t, features.Improved(), false, 5)
+	runToCompletion(t, client, server, q, 10000)
+
+	// Find the server's TCB for the connection.
+	serverConns := server.TCP.Connections()
+	if len(serverConns) != 1 {
+		t.Fatalf("server has %d connections, want 1", len(serverConns))
+	}
+
+	// Client closes; server responds by closing its side.
+	client.Host.BeginEvent(nil)
+	client.Test.Conn.Close()
+	q.Run(1000)
+	if serverConns[0].State != StateCloseWait {
+		t.Fatalf("server state after client FIN = %v, want CLOSE_WAIT", serverConns[0].State)
+	}
+	server.Host.BeginEvent(nil)
+	serverConns[0].Close()
+	q.Run(1000)
+
+	if got := client.Test.Conn.State; got != StateClosed {
+		t.Fatalf("client state = %v, want CLOSED", got)
+	}
+	if got := serverConns[0].State; got != StateClosed {
+		t.Fatalf("server state = %v, want CLOSED", got)
+	}
+	// Closed connections leave the demux map on both sides.
+	if n := len(server.TCP.Connections()); n != 0 {
+		t.Fatalf("server still has %d connections bound", n)
+	}
+	if n := len(client.TCP.Connections()); n != 0 {
+		t.Fatalf("client still has %d connections bound", n)
+	}
+}
+
+func TestMultipleConnectionsIsolated(t *testing.T) {
+	client, server, q := newPair(t, features.Improved(), false, 1)
+	// Open three extra connections by hand and ping on each.
+	type probe struct {
+		got  []byte
+		conn *TCB
+	}
+	probes := make([]*probe, 3)
+	for i := range probes {
+		p := &probe{}
+		probes[i] = p
+		app := &connApp{onDeliver: func(c *TCB, data []byte) { p.got = append(p.got, data...) }}
+		client.Host.BeginEvent(nil)
+		p.conn = client.TCP.Open(uint16(5000+i), 2000, server.IP.Local, app)
+		app.onEstab = func(c *TCB) { _ = c.Send([]byte{byte(0x10 + i)}) }
+	}
+	q.Run(10000)
+	for i, p := range probes {
+		if p.conn.State != StateEstablished {
+			t.Fatalf("conn %d not established: %v", i, p.conn.State)
+		}
+		if len(p.got) != 1 || p.got[0] != byte(0x10+i) {
+			t.Fatalf("conn %d echo = %v (cross-connection leakage?)", i, p.got)
+		}
+	}
+	if n := len(server.TCP.Connections()); n != 3 {
+		t.Fatalf("server tracks %d connections, want 3", n)
+	}
+}
+
+// connApp is a minimal TCP App for multi-connection tests.
+type connApp struct {
+	onEstab   func(*TCB)
+	onDeliver func(*TCB, []byte)
+}
+
+func (a *connApp) Established(c *TCB) {
+	if a.onEstab != nil {
+		a.onEstab(c)
+	}
+}
+func (a *connApp) Deliver(c *TCB, data []byte) {
+	if a.onDeliver != nil {
+		a.onDeliver(c, data)
+	}
+}
+
+func TestEthDropsForeignFrames(t *testing.T) {
+	client, server, q := newPair(t, features.Improved(), false, 5)
+	// Rewrite a frame's destination MAC in transit: the receiver's ETH
+	// half must drop it silently; retransmission recovers.
+	n := 0
+	client.Dev.Link.Drop = func(frame []byte) bool {
+		n++
+		if n == 4 {
+			frame[0] ^= 0xff
+		}
+		return false
+	}
+	client.StartClient(server)
+	q.Run(60000)
+	if !client.Test.Done() {
+		t.Fatalf("incomplete after misaddressed frame: %d/%d", client.Test.Completed, client.Test.WantRoundtrips)
+	}
+	if client.TCP.Retransmits+server.TCP.Retransmits == 0 {
+		t.Fatal("misaddressed frame should have forced a retransmission")
+	}
+}
+
+func TestConnectionRefusedPort(t *testing.T) {
+	client, server, q := newPair(t, features.Improved(), false, 1)
+	app := &connApp{}
+	established := false
+	app.onEstab = func(*TCB) { established = true }
+	client.Host.BeginEvent(nil)
+	client.TCP.Open(6000, 9999, server.IP.Local, app) // nobody listens on 9999
+	q.RunUntil(q.Now() + 50_000*175)
+	if established {
+		t.Fatal("connection to a closed port established")
+	}
+}

@@ -1,0 +1,115 @@
+package tcpip
+
+import (
+	"fmt"
+
+	"repro/internal/protocols/wire"
+	"repro/internal/xkernel"
+)
+
+// TCPTest is the ping-pong test protocol at the top of the TCP/IP stack
+// (§2.1): the client sends a 1-byte message (TCP sends nothing for empty
+// payloads), the server echoes it, 100,000 times in the paper's runs.
+type TCPTest struct {
+	H *xkernel.Host
+	T *TCP
+
+	IsServer bool
+	Payload  []byte
+
+	// WantRoundtrips is how many ping-pongs the client performs.
+	WantRoundtrips int
+	// Completed counts finished roundtrips.
+	Completed int
+	// Stamps records the virtual time of each completed roundtrip, so
+	// the harness can compute steady-state per-roundtrip latency.
+	Stamps []uint64
+	// OnDone fires when the last roundtrip completes.
+	OnDone func()
+	// OnRoundtrip fires after each completed roundtrip with the count so
+	// far, before the next ping goes out; the experiment harness uses it
+	// to bracket measurement epochs.
+	OnRoundtrip func(n int)
+
+	Conn        *TCB
+	established bool
+}
+
+// NewClient builds the client-side test protocol.
+func NewClient(h *xkernel.Host, t *TCP, roundtrips int) *TCPTest {
+	tt := &TCPTest{H: h, T: t, Payload: []byte{0xAB}, WantRoundtrips: roundtrips}
+	h.Graph.Connect("TCPTEST", "TCP")
+	return tt
+}
+
+// NewServer builds the echo server; it listens on port.
+func NewServer(h *xkernel.Host, t *TCP, port uint16) *TCPTest {
+	tt := &TCPTest{H: h, T: t, IsServer: true, Payload: []byte{0xAB}}
+	t.Listen(port, tt)
+	h.Graph.Connect("TCPTEST", "TCP")
+	return tt
+}
+
+// Start opens the connection; the first ping goes out when the handshake
+// completes.
+func (tt *TCPTest) Start(lport, rport uint16, raddr wire.IPAddr) {
+	tt.H.BeginEvent(nil)
+	tt.Conn = tt.T.Open(lport, rport, raddr, tt)
+}
+
+// Established implements App.
+func (tt *TCPTest) Established(c *TCB) {
+	tt.Conn = c
+	tt.established = true
+	if !tt.IsServer {
+		tt.sendPing()
+	}
+}
+
+// WillRespond reports whether delivery of the next message triggers a
+// response — the condition closure driving the test-protocol model's
+// respond branch.
+func (tt *TCPTest) WillRespond() bool {
+	if tt.IsServer {
+		return true
+	}
+	return tt.Completed+1 < tt.WantRoundtrips
+}
+
+func (tt *TCPTest) sendPing() {
+	tt.H.RunModel("tcptest_push")
+	if err := tt.Conn.Send(tt.Payload); err != nil {
+		panic(fmt.Sprintf("tcptest: send: %v", err))
+	}
+}
+
+// Deliver implements App.
+func (tt *TCPTest) Deliver(c *TCB, data []byte) {
+	if tt.IsServer {
+		// Echo. The model for the server reply path was already
+		// executed as part of the lance_rx path model.
+		if err := c.Send(data); err != nil {
+			panic(fmt.Sprintf("tcptest: echo: %v", err))
+		}
+		return
+	}
+	tt.Completed++
+	tt.Stamps = append(tt.Stamps, tt.H.Queue.Now())
+	if tt.OnRoundtrip != nil {
+		tt.OnRoundtrip(tt.Completed)
+	}
+	if tt.Completed < tt.WantRoundtrips {
+		if err := c.Send(tt.Payload); err != nil {
+			panic(fmt.Sprintf("tcptest: ping: %v", err))
+		}
+		return
+	}
+	if tt.OnDone != nil {
+		tt.OnDone()
+	}
+}
+
+// Done reports whether the client finished its roundtrips.
+func (tt *TCPTest) Done() bool {
+	return !tt.IsServer && tt.Completed >= tt.WantRoundtrips
+}

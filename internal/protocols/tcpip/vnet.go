@@ -1,0 +1,52 @@
+package tcpip
+
+import (
+	"fmt"
+
+	"repro/internal/protocols/wire"
+	"repro/internal/xkernel"
+)
+
+// VNet is the virtual protocol that routes outgoing messages to the
+// appropriate network adaptor (§2.1). In BSD-derived stacks this logic is
+// part of IP; the x-kernel factors it out, which makes its output processing
+// the paper's prime example of a layer that path-inlining eliminates
+// entirely — it just resolves a route and calls the next protocol down.
+type VNet struct {
+	H      *xkernel.Host
+	routes map[wire.IPAddr]vnetRoute
+}
+
+type vnetRoute struct {
+	eth   *Eth
+	nhMAC wire.MACAddr
+}
+
+// NewVNet builds the routing layer.
+func NewVNet(h *xkernel.Host) *VNet {
+	v := &VNet{H: h, routes: map[wire.IPAddr]vnetRoute{}}
+	h.Graph.Connect("VNET", "ETH")
+	return v
+}
+
+// Name implements xkernel.Protocol.
+func (v *VNet) Name() string { return "VNET" }
+
+// AddRoute maps a destination address to an adaptor and next-hop MAC.
+func (v *VNet) AddRoute(dst wire.IPAddr, eth *Eth, nhMAC wire.MACAddr) {
+	v.routes[dst] = vnetRoute{eth: eth, nhMAC: nhMAC}
+}
+
+// Push routes the datagram to the right adaptor.
+func (v *VNet) Push(m *xkernel.Msg, dst wire.IPAddr, etype uint16) error {
+	r, ok := v.routes[dst]
+	if !ok {
+		return fmt.Errorf("vnet: no route to %v", dst)
+	}
+	return r.eth.Push(m, r.nhMAC, etype)
+}
+
+// Demux is never called: VNET sits on the outbound path only.
+func (v *VNet) Demux(m *xkernel.Msg) error {
+	return fmt.Errorf("vnet: unexpected inbound message")
+}

@@ -1,0 +1,357 @@
+// Package wire defines the on-the-wire header formats used by both protocol
+// stacks, plus the Internet checksum. Headers are real: every field is
+// marshalled to network byte order and parsed back, so the functional
+// protocol implementations exchange genuine packets.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Ethernet constants.
+const (
+	EthHeaderLen   = 14
+	EthMinFrame    = 60 // excluding FCS; 64 on the wire with FCS
+	EthMTU         = 1500
+	EtherTypeIP    = 0x0800
+	EtherTypeXRPC  = 0x88b5 // local experimental ethertype for the RPC stack
+	PreambleBytes  = 8
+	EthBitsPerByte = 8
+)
+
+// MACAddr is a 6-byte Ethernet address.
+type MACAddr [6]byte
+
+func (a MACAddr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// EthHeader is the 14-byte Ethernet header.
+type EthHeader struct {
+	Dst  MACAddr
+	Src  MACAddr
+	Type uint16
+}
+
+// Marshal appends the header in wire format.
+func (h *EthHeader) Marshal() []byte {
+	b := make([]byte, EthHeaderLen)
+	copy(b[0:6], h.Dst[:])
+	copy(b[6:12], h.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], h.Type)
+	return b
+}
+
+// UnmarshalEth parses an Ethernet header.
+func UnmarshalEth(b []byte) (EthHeader, error) {
+	var h EthHeader
+	if len(b) < EthHeaderLen {
+		return h, fmt.Errorf("wire: ethernet header truncated: %d bytes", len(b))
+	}
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.Type = binary.BigEndian.Uint16(b[12:14])
+	return h, nil
+}
+
+// IP constants.
+const (
+	IPHeaderLen   = 20
+	IPProtoTCP    = 6
+	IPProtoXRPC   = 200 // the RPC stack rides over IP in some configurations
+	IPVersion     = 4
+	IPDefaultTTL  = 64
+	IPFlagMF      = 0x2000 // more fragments
+	IPFragOffMask = 0x1fff
+)
+
+// IPAddr is an IPv4 address.
+type IPAddr uint32
+
+func (a IPAddr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// IPHeader is the 20-byte IPv4 header (no options).
+type IPHeader struct {
+	TotalLen uint16
+	ID       uint16
+	FragOff  uint16 // flags in the top 3 bits, offset (in 8-byte units) below
+	TTL      uint8
+	Proto    uint8
+	Checksum uint16
+	Src, Dst IPAddr
+}
+
+// Marshal emits the header with a freshly computed checksum.
+func (h *IPHeader) Marshal() []byte {
+	b := make([]byte, IPHeaderLen)
+	b[0] = IPVersion<<4 | (IPHeaderLen / 4)
+	binary.BigEndian.PutUint16(b[2:4], h.TotalLen)
+	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	binary.BigEndian.PutUint16(b[6:8], h.FragOff)
+	b[8] = h.TTL
+	b[9] = h.Proto
+	binary.BigEndian.PutUint32(b[12:16], uint32(h.Src))
+	binary.BigEndian.PutUint32(b[16:20], uint32(h.Dst))
+	ck := Checksum(b)
+	binary.BigEndian.PutUint16(b[10:12], ck)
+	return b
+}
+
+// UnmarshalIP parses and verifies an IPv4 header.
+func UnmarshalIP(b []byte) (IPHeader, error) {
+	var h IPHeader
+	if len(b) < IPHeaderLen {
+		return h, fmt.Errorf("wire: IP header truncated: %d bytes", len(b))
+	}
+	if b[0]>>4 != IPVersion {
+		return h, fmt.Errorf("wire: IP version %d", b[0]>>4)
+	}
+	if Checksum(b[:IPHeaderLen]) != 0 {
+		return h, fmt.Errorf("wire: IP header checksum failed")
+	}
+	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	h.FragOff = binary.BigEndian.Uint16(b[6:8])
+	h.TTL = b[8]
+	h.Proto = b[9]
+	h.Checksum = binary.BigEndian.Uint16(b[10:12])
+	h.Src = IPAddr(binary.BigEndian.Uint32(b[12:16]))
+	h.Dst = IPAddr(binary.BigEndian.Uint32(b[16:20]))
+	return h, nil
+}
+
+// TCP constants.
+const (
+	TCPHeaderLen = 20
+	TCPFlagFIN   = 0x01
+	TCPFlagSYN   = 0x02
+	TCPFlagRST   = 0x04
+	TCPFlagPSH   = 0x08
+	TCPFlagACK   = 0x10
+)
+
+// TCPHeader is the 20-byte TCP header (no options).
+type TCPHeader struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+}
+
+// Marshal emits the header; the checksum must be filled by the caller (it
+// covers the pseudo-header and payload).
+func (h *TCPHeader) Marshal() []byte {
+	b := make([]byte, TCPHeaderLen)
+	binary.BigEndian.PutUint16(b[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], h.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], h.Seq)
+	binary.BigEndian.PutUint32(b[8:12], h.Ack)
+	b[12] = (TCPHeaderLen / 4) << 4
+	b[13] = h.Flags
+	binary.BigEndian.PutUint16(b[14:16], h.Window)
+	binary.BigEndian.PutUint16(b[16:18], h.Checksum)
+	return b
+}
+
+// UnmarshalTCP parses a TCP header.
+func UnmarshalTCP(b []byte) (TCPHeader, error) {
+	var h TCPHeader
+	if len(b) < TCPHeaderLen {
+		return h, fmt.Errorf("wire: TCP header truncated: %d bytes", len(b))
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	h.DstPort = binary.BigEndian.Uint16(b[2:4])
+	h.Seq = binary.BigEndian.Uint32(b[4:8])
+	h.Ack = binary.BigEndian.Uint32(b[8:12])
+	h.Flags = b[13]
+	h.Window = binary.BigEndian.Uint16(b[14:16])
+	h.Checksum = binary.BigEndian.Uint16(b[16:18])
+	return h, nil
+}
+
+// TCPChecksum computes the checksum over the pseudo-header, TCP header and
+// payload; seg must start with the TCP header with its checksum field
+// zeroed (or left in place when verifying, in which case the result is 0
+// for a valid segment).
+func TCPChecksum(src, dst IPAddr, seg []byte) uint16 {
+	pseudo := make([]byte, 12)
+	binary.BigEndian.PutUint32(pseudo[0:4], uint32(src))
+	binary.BigEndian.PutUint32(pseudo[4:8], uint32(dst))
+	pseudo[9] = IPProtoTCP
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(seg)))
+	return checksumFold(checksumSum(pseudo) + checksumSum(seg))
+}
+
+// Checksum is the Internet one's-complement checksum.
+func Checksum(b []byte) uint16 {
+	return checksumFold(checksumSum(b))
+}
+
+func checksumSum(b []byte) uint64 {
+	var sum uint64
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint64(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint64(b[len(b)-1]) << 8
+	}
+	return sum
+}
+
+func checksumFold(sum uint64) uint16 {
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// RPC stack headers. Sizes are the dense on-the-wire sizes.
+const (
+	BlastHeaderLen   = 12
+	BidHeaderLen     = 8
+	ChanHeaderLen    = 12
+	VchanHeaderLen   = 4
+	MselectHeaderLen = 4
+)
+
+// BlastHeader carries fragmentation state.
+type BlastHeader struct {
+	MsgID    uint32
+	FragIdx  uint16
+	NumFrags uint16
+	Len      uint16
+	Proto    uint16 // higher-layer protocol id above BLAST
+}
+
+// Marshal emits the header.
+func (h *BlastHeader) Marshal() []byte {
+	b := make([]byte, BlastHeaderLen)
+	binary.BigEndian.PutUint32(b[0:4], h.MsgID)
+	binary.BigEndian.PutUint16(b[4:6], h.FragIdx)
+	binary.BigEndian.PutUint16(b[6:8], h.NumFrags)
+	binary.BigEndian.PutUint16(b[8:10], h.Len)
+	binary.BigEndian.PutUint16(b[10:12], h.Proto)
+	return b
+}
+
+// UnmarshalBlast parses a BLAST header.
+func UnmarshalBlast(b []byte) (BlastHeader, error) {
+	var h BlastHeader
+	if len(b) < BlastHeaderLen {
+		return h, fmt.Errorf("wire: BLAST header truncated")
+	}
+	h.MsgID = binary.BigEndian.Uint32(b[0:4])
+	h.FragIdx = binary.BigEndian.Uint16(b[4:6])
+	h.NumFrags = binary.BigEndian.Uint16(b[6:8])
+	h.Len = binary.BigEndian.Uint16(b[8:10])
+	h.Proto = binary.BigEndian.Uint16(b[10:12])
+	return h, nil
+}
+
+// BidHeader carries both ends' boot identifiers.
+type BidHeader struct {
+	SrcBootID uint32
+	DstBootID uint32
+}
+
+// Marshal emits the header.
+func (h *BidHeader) Marshal() []byte {
+	b := make([]byte, BidHeaderLen)
+	binary.BigEndian.PutUint32(b[0:4], h.SrcBootID)
+	binary.BigEndian.PutUint32(b[4:8], h.DstBootID)
+	return b
+}
+
+// UnmarshalBid parses a BID header.
+func UnmarshalBid(b []byte) (BidHeader, error) {
+	var h BidHeader
+	if len(b) < BidHeaderLen {
+		return h, fmt.Errorf("wire: BID header truncated")
+	}
+	h.SrcBootID = binary.BigEndian.Uint32(b[0:4])
+	h.DstBootID = binary.BigEndian.Uint32(b[4:8])
+	return h, nil
+}
+
+// Chan message kinds.
+const (
+	ChanRequest = 1
+	ChanReply   = 2
+	ChanAck     = 3
+)
+
+// ChanHeader implements CHAN's request-reply sequencing.
+type ChanHeader struct {
+	ChanID uint32
+	Seq    uint32
+	Kind   uint8
+}
+
+// Marshal emits the header.
+func (h *ChanHeader) Marshal() []byte {
+	b := make([]byte, ChanHeaderLen)
+	binary.BigEndian.PutUint32(b[0:4], h.ChanID)
+	binary.BigEndian.PutUint32(b[4:8], h.Seq)
+	b[8] = h.Kind
+	return b
+}
+
+// UnmarshalChan parses a CHAN header.
+func UnmarshalChan(b []byte) (ChanHeader, error) {
+	var h ChanHeader
+	if len(b) < ChanHeaderLen {
+		return h, fmt.Errorf("wire: CHAN header truncated")
+	}
+	h.ChanID = binary.BigEndian.Uint32(b[0:4])
+	h.Seq = binary.BigEndian.Uint32(b[4:8])
+	h.Kind = b[8]
+	return h, nil
+}
+
+// VchanHeader names the virtual channel.
+type VchanHeader struct {
+	VchanID uint32
+}
+
+// Marshal emits the header.
+func (h *VchanHeader) Marshal() []byte {
+	b := make([]byte, VchanHeaderLen)
+	binary.BigEndian.PutUint32(b[0:4], h.VchanID)
+	return b
+}
+
+// UnmarshalVchan parses a VCHAN header.
+func UnmarshalVchan(b []byte) (VchanHeader, error) {
+	var h VchanHeader
+	if len(b) < VchanHeaderLen {
+		return h, fmt.Errorf("wire: VCHAN header truncated")
+	}
+	h.VchanID = binary.BigEndian.Uint32(b[0:4])
+	return h, nil
+}
+
+// MselectHeader selects the RPC service.
+type MselectHeader struct {
+	Selector uint16
+}
+
+// Marshal emits the header.
+func (h *MselectHeader) Marshal() []byte {
+	b := make([]byte, MselectHeaderLen)
+	binary.BigEndian.PutUint16(b[0:2], h.Selector)
+	return b
+}
+
+// UnmarshalMselect parses an MSELECT header.
+func UnmarshalMselect(b []byte) (MselectHeader, error) {
+	var h MselectHeader
+	if len(b) < MselectHeaderLen {
+		return h, fmt.Errorf("wire: MSELECT header truncated")
+	}
+	h.Selector = binary.BigEndian.Uint16(b[0:2])
+	return h, nil
+}

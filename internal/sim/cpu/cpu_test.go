@@ -1,0 +1,159 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/sim/mem"
+)
+
+func newCPU() *CPU { return New(mem.New(arch.DEC3000_600())) }
+
+// seq builds a straight-line trace of n instructions of class op starting at
+// base.
+func seq(base uint64, op arch.Op, n int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		out[i] = Entry{Addr: base + uint64(4*i), Op: op}
+	}
+	return out
+}
+
+func TestALUPairing(t *testing.T) {
+	c := newCPU()
+	m := c.Run(seq(0x1000, arch.OpALU, 12))
+	// Dual issue is rationed: the strict 21064 issue rules plus real data
+	// dependences mean only every third adjacent pair dual-issues, so 12
+	// ALU ops take fewer than 12 but more than 6 cycles.
+	if m.PerfectCycles >= 12 {
+		t.Fatalf("perfect cycles = %d, want some dual issue", m.PerfectCycles)
+	}
+	if m.PerfectCycles <= 6 {
+		t.Fatalf("perfect cycles = %d; pairing must be rationed", m.PerfectCycles)
+	}
+	if m.Instructions != 12 {
+		t.Fatalf("instructions = %d", m.Instructions)
+	}
+}
+
+func TestTakenBranchPenalty(t *testing.T) {
+	m := arch.DEC3000_600()
+	c := newCPU()
+	notTaken := c.Run([]Entry{{Addr: 0x1000, Op: arch.OpCondBr, Taken: false}})
+	c2 := newCPU()
+	taken := c2.Run([]Entry{{Addr: 0x1000, Op: arch.OpCondBr, Taken: true}})
+	diff := taken.PerfectCycles - notTaken.PerfectCycles
+	if diff != uint64(m.TakenBranchCycles) {
+		t.Fatalf("taken-branch penalty = %d, want %d", diff, m.TakenBranchCycles)
+	}
+}
+
+func TestMulLatency(t *testing.T) {
+	m := arch.DEC3000_600()
+	c := newCPU()
+	got := c.Run([]Entry{{Addr: 0x1000, Op: arch.OpMul}})
+	if got.PerfectCycles != uint64(m.MulCycles) {
+		t.Fatalf("mul = %d cycles, want %d", got.PerfectCycles, m.MulCycles)
+	}
+}
+
+func TestMCPIPositiveWithColdCaches(t *testing.T) {
+	c := newCPU()
+	m := c.Run(seq(0x1000, arch.OpALU, 64))
+	if m.MCPI() <= 0 {
+		t.Fatalf("cold-cache run must stall: mCPI = %v", m.MCPI())
+	}
+	if m.CPI() < m.ICPI() {
+		t.Fatalf("CPI %v < iCPI %v", m.CPI(), m.ICPI())
+	}
+}
+
+func TestWarmRerunHasLowerMCPI(t *testing.T) {
+	c := newCPU()
+	trace := seq(0x1000, arch.OpALU, 256)
+	cold := c.Run(trace)
+	warm := c.Run(trace)
+	if warm.Cycles >= cold.Cycles {
+		t.Fatalf("warm rerun (%d cycles) not faster than cold (%d)", warm.Cycles, cold.Cycles)
+	}
+	if warm.MCPI() != 0 {
+		t.Fatalf("fully warm straight-line code should have mCPI 0, got %v", warm.MCPI())
+	}
+}
+
+func TestLoadStoreChargeDataAccesses(t *testing.T) {
+	c := newCPU()
+	c.Run([]Entry{
+		{Addr: 0x1000, Op: arch.OpLoad, DataAddr: 0x80000},
+		{Addr: 0x1004, Op: arch.OpStore, DataAddr: 0x90000},
+	})
+	d := c.Hierarchy().DStats
+	if d.Accesses != 2 {
+		t.Fatalf("data accesses = %d, want 2", d.Accesses)
+	}
+}
+
+func TestAdvanceCyclesNeutralForCPI(t *testing.T) {
+	c := newCPU()
+	c.Run(seq(0x1000, arch.OpALU, 16))
+	before := c.Metrics()
+	c.AdvanceCycles(1000)
+	after := c.Metrics()
+	if after.MCPI() != before.MCPI() {
+		t.Fatalf("AdvanceCycles changed mCPI: %v -> %v", before.MCPI(), after.MCPI())
+	}
+	if after.Cycles != before.Cycles+1000 {
+		t.Fatalf("Cycles = %d, want %d", after.Cycles, before.Cycles+1000)
+	}
+}
+
+func TestMetricsSubAndString(t *testing.T) {
+	a := Metrics{Instructions: 10, Cycles: 30, PerfectCycles: 20}
+	b := Metrics{Instructions: 4, Cycles: 10, PerfectCycles: 8}
+	d := a.Sub(b)
+	if d != (Metrics{Instructions: 6, Cycles: 20, PerfectCycles: 12}) {
+		t.Fatalf("Sub = %+v", d)
+	}
+	if d.String() == "" {
+		t.Fatal("String must be non-empty")
+	}
+	var zero Metrics
+	if zero.CPI() != 0 || zero.ICPI() != 0 || zero.MCPI() != 0 {
+		t.Fatal("zero metrics must not divide by zero")
+	}
+}
+
+// Property: cycles >= perfect cycles >= instructions/issue-width for any
+// instruction mix, and execution is deterministic.
+func TestCPUInvariants(t *testing.T) {
+	ops := []arch.Op{arch.OpALU, arch.OpLoad, arch.OpStore, arch.OpCondBr, arch.OpBr, arch.OpJump, arch.OpMul, arch.OpNop}
+	f := func(raw []byte) bool {
+		trace := make([]Entry, len(raw))
+		for i, b := range raw {
+			op := ops[int(b)%len(ops)]
+			trace[i] = Entry{
+				Addr:     0x1000 + uint64(4*i),
+				Op:       op,
+				Taken:    b%2 == 0,
+				DataAddr: 0x80000 + uint64(b)*8,
+			}
+		}
+		run := func() Metrics {
+			c := newCPU()
+			return c.Run(trace)
+		}
+		m1, m2 := run(), run()
+		if m1 != m2 {
+			return false
+		}
+		if m1.Cycles < m1.PerfectCycles {
+			return false
+		}
+		minCycles := uint64(len(trace)) / 2 // issue width 2
+		return m1.PerfectCycles >= minCycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+// Package mem simulates the DEC 3000/600 memory hierarchy: direct-mapped
+// split first-level caches, a 4-deep write-merging write buffer, a unified
+// direct-mapped b-cache, and main memory, with the single-entry sequential
+// instruction stream buffer that makes sequential code layouts profitable.
+//
+// The simulator classifies every miss as either a cold miss (first touch of
+// the block within the current measurement epoch) or a replacement miss (the
+// block was resident earlier in the epoch and was evicted by a conflicting
+// block), matching the methodology behind Table 6 of the paper.
+package mem
+
+import "fmt"
+
+// Stats counts the accesses observed by one level of the hierarchy during
+// the current measurement epoch.
+type Stats struct {
+	// Accesses is the total number of references presented to this level.
+	Accesses uint64
+	// Misses is the number of references not satisfied by this level.
+	// For the combined d-cache/write-buffer statistics a merged write
+	// counts as a hit and an unmerged write as a miss, as in the paper.
+	Misses uint64
+	// ReplMisses is the subset of Misses whose block had been resident
+	// earlier in the epoch: a conflict (replacement) miss rather than a
+	// cold miss.
+	ReplMisses uint64
+}
+
+// Hits returns Accesses - Misses.
+func (s Stats) Hits() uint64 { return s.Accesses - s.Misses }
+
+// Sub returns the element-wise difference s - o, useful for per-phase stats.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Accesses:   s.Accesses - o.Accesses,
+		Misses:     s.Misses - o.Misses,
+		ReplMisses: s.ReplMisses - o.ReplMisses,
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("acc=%d miss=%d repl=%d", s.Accesses, s.Misses, s.ReplMisses)
+}
+
+// cache is one set-associative (LRU) cache level; associativity 1 gives
+// the DEC 3000/600's direct-mapped behaviour.
+type cache struct {
+	blockShift uint
+	setMask    uint64
+	assoc      int
+	// ways[set] holds the resident block numbers of a set in LRU order:
+	// index 0 is the most recently used way.
+	ways [][]uint64
+	// seen records every block number touched this epoch, for
+	// classifying misses as cold vs. replacement.
+	seen map[uint64]struct{}
+}
+
+func newCache(sizeBytes, blockBytes, assoc int) *cache {
+	if assoc < 1 {
+		assoc = 1
+	}
+	sets := sizeBytes / blockBytes / assoc
+	shift := uint(0)
+	for 1<<shift != blockBytes {
+		shift++
+	}
+	return &cache{
+		blockShift: shift,
+		setMask:    uint64(sets - 1),
+		assoc:      assoc,
+		ways:       make([][]uint64, sets),
+		seen:       make(map[uint64]struct{}),
+	}
+}
+
+func (c *cache) block(addr uint64) uint64 { return addr >> c.blockShift }
+
+// present reports whether the block containing addr is resident, without
+// touching statistics, contents, or LRU order.
+func (c *cache) present(addr uint64) bool {
+	b := c.block(addr)
+	for _, w := range c.ways[b&c.setMask] {
+		if w == b {
+			return true
+		}
+	}
+	return false
+}
+
+// access looks up the block containing addr, filling it on a miss (evicting
+// the LRU way when the set is full). It reports whether the access hit and,
+// on a miss, whether the miss is a replacement miss (block was resident
+// earlier this epoch).
+func (c *cache) access(addr uint64) (hit, repl bool) {
+	b := c.block(addr)
+	set := b & c.setMask
+	wl := c.ways[set]
+	for i, w := range wl {
+		if w == b {
+			// Move to the MRU position.
+			copy(wl[1:i+1], wl[:i])
+			wl[0] = b
+			return true, false
+		}
+	}
+	_, seenBefore := c.seen[b]
+	c.seen[b] = struct{}{}
+	if len(wl) < c.assoc {
+		wl = append(wl, 0)
+	}
+	copy(wl[1:], wl)
+	wl[0] = b
+	c.ways[set] = wl
+	return false, seenBefore
+}
+
+// beginEpoch forgets the miss-classification history but keeps contents, so
+// that a measurement epoch starts with warm caches and zero counters.
+func (c *cache) beginEpoch() { c.seen = make(map[uint64]struct{}) }
+
+// reset empties the cache entirely (cold start).
+func (c *cache) reset() {
+	for i := range c.ways {
+		c.ways[i] = nil
+	}
+	c.seen = make(map[uint64]struct{})
+}
+
+// writeBuffer models the 21064's 4-deep write buffer. Each entry holds one
+// cache block and merges subsequent stores to the same block; entries retire
+// to the b-cache one at a time.
+type writeBuffer struct {
+	entries   []wbEntry
+	retireAt  uint64 // virtual cycle when the b-cache port frees up
+	retireCyc uint64
+}
+
+type wbEntry struct {
+	block    uint64
+	validAt  bool
+	drainsAt uint64 // entry leaves the buffer at this cycle
+}
+
+func newWriteBuffer(depth, retireCycles int) *writeBuffer {
+	return &writeBuffer{
+		entries:   make([]wbEntry, depth),
+		retireCyc: uint64(retireCycles),
+	}
+}
+
+// put records a store to block at time now. It reports whether the store
+// merged into an existing entry and how many cycles the CPU stalled waiting
+// for a free entry.
+func (w *writeBuffer) put(now, block uint64) (merged bool, stall uint64) {
+	free := -1
+	var earliest uint64
+	earliestIdx := -1
+	for i := range w.entries {
+		e := &w.entries[i]
+		if e.validAt && e.drainsAt > now {
+			if e.block == block {
+				return true, 0
+			}
+			if earliestIdx < 0 || e.drainsAt < earliest {
+				earliest, earliestIdx = e.drainsAt, i
+			}
+		} else if free < 0 {
+			free = i
+		}
+	}
+	if free < 0 {
+		// Buffer full: stall until the earliest entry drains.
+		stall = earliest - now
+		now = earliest
+		free = earliestIdx
+	}
+	if w.retireAt < now {
+		w.retireAt = now
+	}
+	w.retireAt += w.retireCyc
+	w.entries[free] = wbEntry{block: block, validAt: true, drainsAt: w.retireAt}
+	return false, stall
+}
+
+// reset empties the buffer.
+func (w *writeBuffer) reset() {
+	for i := range w.entries {
+		w.entries[i] = wbEntry{}
+	}
+	w.retireAt = 0
+}

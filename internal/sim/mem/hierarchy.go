@@ -1,0 +1,177 @@
+package mem
+
+import "repro/internal/arch"
+
+// Hierarchy is the complete simulated memory system of one host. All methods
+// take the current virtual cycle ("now") and return the number of cycles the
+// CPU stalls on the access; the caller (internal/sim/cpu) owns the clock.
+type Hierarchy struct {
+	m arch.Machine
+
+	icache *cache
+	dcache *cache
+	bcache *cache
+	wbuf   *writeBuffer
+
+	// Single-entry sequential stream buffer between the i-cache and the
+	// b-cache. Every i-cache miss prefetches the next sequential block;
+	// a later miss that lands on the prefetched block is filled cheaply
+	// once the prefetch has actually arrived — a prefetch that itself
+	// missed the b-cache takes a full memory access to complete, and a
+	// consumer that catches up earlier waits for the remainder. This is
+	// what rewards the paper's sequential layouts and punishes scattered
+	// ones: in-order code streams out of the b-cache, while a pessimal
+	// layout's prefetches drag main-memory latency behind them.
+	streamBlock   uint64
+	streamValid   bool
+	streamReadyAt uint64
+
+	// IStats counts instruction fetches against the i-cache, DStats the
+	// combined d-cache/write-buffer behaviour, BStats the unified
+	// b-cache (fills, prefetches, and write retirements).
+	IStats Stats
+	DStats Stats
+	BStats Stats
+}
+
+// New builds a hierarchy for machine m. The machine description must be
+// valid (see arch.Machine.Validate).
+func New(m arch.Machine) *Hierarchy {
+	assoc := m.Assoc
+	if assoc < 1 {
+		assoc = 1
+	}
+	return &Hierarchy{
+		m:      m,
+		icache: newCache(m.ICacheBytes, m.BlockBytes, assoc),
+		dcache: newCache(m.DCacheBytes, m.BlockBytes, assoc),
+		bcache: newCache(m.BCacheBytes, m.BlockBytes, 1),
+		wbuf:   newWriteBuffer(m.WriteBufferEntries, m.WriteRetireCycles),
+	}
+}
+
+// Machine returns the machine description this hierarchy simulates.
+func (h *Hierarchy) Machine() arch.Machine { return h.m }
+
+// bAccess performs one b-cache reference and returns the CPU-visible stall.
+func (h *Hierarchy) bAccess(addr uint64, stallOnHit uint64) (stall uint64) {
+	h.BStats.Accesses++
+	hit, repl := h.bcache.access(addr)
+	if hit {
+		return stallOnHit
+	}
+	h.BStats.Misses++
+	if repl {
+		h.BStats.ReplMisses++
+	}
+	return uint64(h.m.MemoryCycles)
+}
+
+// FetchInstr simulates the instruction fetch for the instruction at addr.
+// Every dynamic instruction counts as one i-cache access, so
+// IStats.Accesses equals the dynamic instruction count, as in the paper.
+func (h *Hierarchy) FetchInstr(now, addr uint64) (stall uint64) {
+	h.IStats.Accesses++
+	hit, repl := h.icache.access(addr)
+	if hit {
+		return 0
+	}
+	h.IStats.Misses++
+	if repl {
+		h.IStats.ReplMisses++
+	}
+	block := addr >> uint64(h.icache.blockShift)
+	if h.streamValid && h.streamBlock == block {
+		// The block was sequentially prefetched: cheap fill, plus
+		// however long the prefetch itself still needs to arrive.
+		stall = uint64(h.m.PrefetchHitCycles)
+		if h.streamReadyAt > now {
+			stall += h.streamReadyAt - now
+		}
+	} else {
+		stall = h.bAccess(addr, uint64(h.m.BCacheHitCycles))
+	}
+	// Prefetch the next sequential block into the stream buffer unless it
+	// is already resident; this is an extra b-cache access that overlaps
+	// execution (the CPU only stalls if it catches up with it).
+	next := addr + uint64(h.m.BlockBytes)
+	if !h.icache.present(next) {
+		latency := h.bAccess(next, uint64(h.m.BCacheHitCycles))
+		h.streamBlock = block + 1
+		h.streamValid = true
+		h.streamReadyAt = now + stall + latency
+	} else {
+		h.streamValid = false
+	}
+	return stall
+}
+
+// Load simulates a data read of the block containing addr.
+func (h *Hierarchy) Load(now, addr uint64) (stall uint64) {
+	h.DStats.Accesses++
+	hit, repl := h.dcache.access(addr)
+	if hit {
+		return 0
+	}
+	h.DStats.Misses++
+	if repl {
+		h.DStats.ReplMisses++
+	}
+	return h.bAccess(addr, uint64(h.m.BCacheHitCycles))
+}
+
+// Store simulates a data write through the write buffer. The d-cache is
+// write-through and allocates on read misses only, so the d-cache contents
+// are updated only if the block is already resident. A write that merges
+// into an active write-buffer entry counts as a hit; an unmerged write
+// counts as a miss and retires through the b-cache (which allocates on
+// either miss type).
+func (h *Hierarchy) Store(now, addr uint64) (stall uint64) {
+	h.DStats.Accesses++
+	block := addr >> uint64(h.dcache.blockShift)
+	merged, wstall := h.wbuf.put(now, block)
+	if merged {
+		return wstall
+	}
+	h.DStats.Misses++
+	// The retirement write is a b-cache access; it allocates in the
+	// b-cache but its latency is hidden behind the write buffer, so the
+	// only CPU-visible stall is a full buffer.
+	h.BStats.Accesses++
+	hit, repl := h.bcache.access(addr)
+	if !hit {
+		h.BStats.Misses++
+		if repl {
+			h.BStats.ReplMisses++
+		}
+	}
+	return wstall
+}
+
+// BeginEpoch zeroes all statistics and forgets the cold/replacement
+// classification history while keeping cache contents warm. Use it at the
+// start of a traced measurement, as the paper does.
+func (h *Hierarchy) BeginEpoch() {
+	h.IStats, h.DStats, h.BStats = Stats{}, Stats{}, Stats{}
+	h.icache.beginEpoch()
+	h.dcache.beginEpoch()
+	h.bcache.beginEpoch()
+}
+
+// Reset makes every cache cold and zeroes all statistics.
+func (h *Hierarchy) Reset() {
+	h.BeginEpoch()
+	h.icache.reset()
+	h.dcache.reset()
+	h.bcache.reset()
+	h.wbuf.reset()
+	h.streamValid = false
+}
+
+// ICachePresent reports whether the i-cache currently holds the block
+// containing addr; used by layout-quality diagnostics and tests.
+func (h *Hierarchy) ICachePresent(addr uint64) bool { return h.icache.present(addr) }
+
+// DCachePresent reports whether the d-cache currently holds the block
+// containing addr.
+func (h *Hierarchy) DCachePresent(addr uint64) bool { return h.dcache.present(addr) }

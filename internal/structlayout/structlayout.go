@@ -1,0 +1,160 @@
+// Package structlayout models C structure layout under the Alpha's
+// alignment rules, for the §2.2.1 d-cache work: "the x-kernel data
+// structures were reorganized to minimize compiler introduced padding. This
+// is important on the Alpha since pointers and long integers take up 8
+// bytes, and since such variables must be aligned to their size. For
+// example, placing a pointer behind a byte-sized field normally results in
+// a 7 byte gap." The package computes a structure's size and padding,
+// proposes the padding-minimizing field order, and scores cache-block
+// co-location of fields that are used together.
+package structlayout
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Field is one structure member.
+type Field struct {
+	Name string
+	// Size is the field's size in bytes; alignment equals size for the
+	// scalar types the Alpha ABI defines (1, 2, 4, 8).
+	Size int
+	// Hot marks fields accessed on the latency-critical path; the
+	// co-location score rewards packing them into few cache blocks.
+	Hot bool
+}
+
+// Layout is a computed structure layout.
+type Layout struct {
+	Fields  []Field
+	Offsets []int
+	// SizeBytes includes trailing padding to the structure's alignment.
+	SizeBytes int
+	// PaddingBytes counts internal plus trailing padding.
+	PaddingBytes int
+}
+
+// align rounds n up to a.
+func align(n, a int) int {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) &^ (a - 1)
+}
+
+// Compute lays out fields in the given order under the Alpha rules: every
+// scalar is aligned to its own size, and the structure is padded to its
+// largest member's alignment.
+func Compute(fields []Field) (Layout, error) {
+	l := Layout{Fields: append([]Field(nil), fields...)}
+	off := 0
+	maxAlign := 1
+	for _, f := range fields {
+		switch f.Size {
+		case 1, 2, 4, 8:
+		default:
+			return Layout{}, fmt.Errorf("structlayout: field %q has unsupported size %d", f.Name, f.Size)
+		}
+		start := align(off, f.Size)
+		l.PaddingBytes += start - off
+		l.Offsets = append(l.Offsets, start)
+		off = start + f.Size
+		if f.Size > maxAlign {
+			maxAlign = f.Size
+		}
+	}
+	l.SizeBytes = align(off, maxAlign)
+	l.PaddingBytes += l.SizeBytes - off
+	return l, nil
+}
+
+// Minimize returns a field order that eliminates internal padding: fields
+// sorted by decreasing alignment (stable, so related fields keep their
+// relative order), with hot fields of equal alignment grouped first so the
+// critical path touches the fewest cache blocks — the paper's "spatially
+// co-locate structure fields that are used together in close temporal
+// proximity".
+func Minimize(fields []Field) []Field {
+	out := append([]Field(nil), fields...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Size != out[j].Size {
+			return out[i].Size > out[j].Size
+		}
+		return out[i].Hot && !out[j].Hot
+	})
+	return out
+}
+
+// HotBlocks counts the distinct cache blocks the hot fields span.
+func (l Layout) HotBlocks(blockBytes int) int {
+	blocks := map[int]bool{}
+	for i, f := range l.Fields {
+		if !f.Hot {
+			continue
+		}
+		for b := l.Offsets[i] / blockBytes; b <= (l.Offsets[i]+f.Size-1)/blockBytes; b++ {
+			blocks[b] = true
+		}
+	}
+	return len(blocks)
+}
+
+// Describe renders the layout.
+func (l Layout) Describe() string {
+	var sb strings.Builder
+	for i, f := range l.Fields {
+		hot := ""
+		if f.Hot {
+			hot = " (hot)"
+		}
+		fmt.Fprintf(&sb, "%4d: %-20s %d bytes%s\n", l.Offsets[i], f.Name, f.Size, hot)
+	}
+	fmt.Fprintf(&sb, "size %d bytes, %d padding\n", l.SizeBytes, l.PaddingBytes)
+	return sb.String()
+}
+
+// TCBOriginal is a BSD-flavoured TCP control block with the byte and short
+// fields the first Alpha generations handle so poorly, interleaved with
+// pointers the way the original source declares them.
+func TCBOriginal() []Field {
+	return []Field{
+		{Name: "t_state", Size: 2, Hot: true},
+		{Name: "t_timer_next", Size: 8},
+		{Name: "t_rxtshift", Size: 1},
+		{Name: "t_inpcb", Size: 8, Hot: true},
+		{Name: "t_dupacks", Size: 1},
+		{Name: "t_maxseg", Size: 2, Hot: true},
+		{Name: "t_template", Size: 8},
+		{Name: "t_force", Size: 1},
+		{Name: "snd_una", Size: 4, Hot: true},
+		{Name: "t_flags", Size: 2, Hot: true},
+		{Name: "snd_nxt", Size: 4, Hot: true},
+		{Name: "t_oobflags", Size: 1},
+		{Name: "snd_wnd", Size: 4, Hot: true},
+		{Name: "so_linger", Size: 8},
+		{Name: "rcv_nxt", Size: 4, Hot: true},
+		{Name: "t_iobc", Size: 1},
+		{Name: "rcv_wnd", Size: 4, Hot: true},
+		{Name: "t_softerror", Size: 2},
+		{Name: "snd_cwnd", Size: 4, Hot: true},
+		{Name: "t_idle_ptr", Size: 8},
+		{Name: "snd_ssthresh", Size: 4, Hot: true},
+		{Name: "t_rttmin", Size: 1},
+	}
+}
+
+// TCBImproved is the §2.2.4 variant: the byte and short fields widened to
+// words (which also removes the sub-word extract/insert sequences), then
+// reorganized to minimize padding and co-locate the hot fields.
+func TCBImproved() []Field {
+	widened := make([]Field, 0, len(TCBOriginal()))
+	for _, f := range TCBOriginal() {
+		if f.Size < 4 {
+			f.Size = 4
+		}
+		widened = append(widened, f)
+	}
+	return Minimize(widened)
+}

@@ -1,0 +1,131 @@
+package structlayout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPointerBehindByteCostsSevenBytes(t *testing.T) {
+	// The paper's own example: "placing a pointer behind a byte-sized
+	// field normally results in a 7 byte gap".
+	l, err := Compute([]Field{
+		{Name: "flag", Size: 1},
+		{Name: "next", Size: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Offsets[1] != 8 {
+		t.Fatalf("pointer at offset %d, want 8", l.Offsets[1])
+	}
+	if l.PaddingBytes != 7 {
+		t.Fatalf("padding = %d, want 7", l.PaddingBytes)
+	}
+}
+
+func TestMinimizeEliminatesInternalPadding(t *testing.T) {
+	fields := []Field{
+		{Name: "a", Size: 1}, {Name: "p", Size: 8}, {Name: "b", Size: 2},
+		{Name: "q", Size: 8}, {Name: "c", Size: 4}, {Name: "d", Size: 1},
+	}
+	before, err := Compute(fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Compute(Minimize(fields))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.PaddingBytes >= before.PaddingBytes {
+		t.Fatalf("minimize did not reduce padding: %d -> %d", before.PaddingBytes, after.PaddingBytes)
+	}
+	if after.SizeBytes > before.SizeBytes {
+		t.Fatalf("minimize grew the struct: %d -> %d", before.SizeBytes, after.SizeBytes)
+	}
+}
+
+// Property: sorting by decreasing alignment never has internal padding
+// except possibly trailing, and Compute is order-size-sound.
+func TestMinimizeProperty(t *testing.T) {
+	sizes := []int{1, 2, 4, 8}
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 24 {
+			raw = raw[:24]
+		}
+		var fields []Field
+		for i, r := range raw {
+			fields = append(fields, Field{
+				Name: string(rune('a' + i%26)),
+				Size: sizes[int(r)%len(sizes)],
+				Hot:  r%3 == 0,
+			})
+		}
+		before, err := Compute(fields)
+		if err != nil {
+			return false
+		}
+		after, err := Compute(Minimize(fields))
+		if err != nil {
+			return false
+		}
+		// Total data bytes unchanged; padding never worse.
+		if after.PaddingBytes > before.PaddingBytes || after.SizeBytes > before.SizeBytes {
+			return false
+		}
+		// Decreasing-alignment order: every field starts exactly where
+		// the previous ended (no internal gaps).
+		for i := 1; i < len(after.Fields); i++ {
+			prevEnd := after.Offsets[i-1] + after.Fields[i-1].Size
+			if after.Offsets[i] != prevEnd {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeRejectsWeirdSizes(t *testing.T) {
+	if _, err := Compute([]Field{{Name: "x", Size: 3}}); err == nil {
+		t.Fatal("3-byte scalar accepted")
+	}
+}
+
+func TestTCBReorganization(t *testing.T) {
+	orig, err := Compute(TCBOriginal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	impr, err := Compute(TCBImproved())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The improved TCB has no internal padding even though every
+	// sub-word field was *widened* to a word; only a final word of
+	// trailing padding (to the 8-byte struct alignment) may remain.
+	for i := 1; i < len(impr.Fields); i++ {
+		if impr.Offsets[i] != impr.Offsets[i-1]+impr.Fields[i-1].Size {
+			t.Fatalf("improved TCB has an internal gap before %s:\n%s",
+				impr.Fields[i].Name, impr.Describe())
+		}
+	}
+	if impr.PaddingBytes > 4 {
+		t.Fatalf("improved TCB trailing padding = %d bytes:\n%s", impr.PaddingBytes, impr.Describe())
+	}
+	if orig.PaddingBytes == 0 {
+		t.Fatal("original TCB should have interleaving padding")
+	}
+	// And the hot fields span fewer 32-byte cache blocks.
+	ob, ib := orig.HotBlocks(32), impr.HotBlocks(32)
+	if ib >= ob {
+		t.Fatalf("hot-field co-location did not improve: %d -> %d blocks", ob, ib)
+	}
+	if impr.Describe() == "" {
+		t.Fatal("describe")
+	}
+}

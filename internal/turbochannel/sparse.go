@@ -1,0 +1,75 @@
+// Package turbochannel models the sparse shared-memory window through which
+// the LANCE Ethernet controller and the CPU communicate on TURBOchannel
+// machines. The LANCE has a 16-bit bus interface on a 32-bit bus, so the
+// shared region is used sparsely: for descriptor memory every 16 bits of
+// data are followed by a 16-bit gap, and for buffer memory 16 bytes of data
+// are followed by a 16-byte gap (§2.2.4).
+package turbochannel
+
+import "fmt"
+
+// SparseBase is the virtual address of the shared window. Its b-cache
+// offset (0x150000) avoids the static-data, heap, and stack regions.
+const SparseBase = 0x0115_0000
+
+// Region is one sparse shared-memory region. Dense offsets index the
+// payload bytes the way driver code thinks about them; the Addr methods
+// translate to the sparse virtual addresses the hardware actually decodes,
+// which is what the d-cache simulation sees.
+type Region struct {
+	base  uint64
+	dense []byte
+}
+
+// NewRegion allocates a region holding denseBytes of payload at the given
+// virtual base address.
+func NewRegion(base uint64, denseBytes int) *Region {
+	return &Region{base: base, dense: make([]byte, denseBytes)}
+}
+
+// Base returns the region's virtual base address.
+func (r *Region) Base() uint64 { return r.base }
+
+// DenseLen returns the payload capacity in bytes.
+func (r *Region) DenseLen() int { return len(r.dense) }
+
+// WordAddr returns the sparse virtual address of the 16-bit word holding
+// dense bytes [2*wordIdx, 2*wordIdx+2): each word occupies a 32-bit slot.
+func (r *Region) WordAddr(wordIdx int) uint64 {
+	return r.base + uint64(wordIdx)*4
+}
+
+// BufAddr returns the sparse virtual address of the dense buffer byte at
+// off: 16 bytes of data alternate with 16-byte gaps.
+func (r *Region) BufAddr(off int) uint64 {
+	return r.base + uint64(off/16)*32 + uint64(off%16)
+}
+
+// ReadWord returns the 16-bit word at the given word index.
+func (r *Region) ReadWord(wordIdx int) uint16 {
+	o := wordIdx * 2
+	return uint16(r.dense[o]) | uint16(r.dense[o+1])<<8
+}
+
+// WriteWord stores a 16-bit word at the given word index.
+func (r *Region) WriteWord(wordIdx int, v uint16) {
+	o := wordIdx * 2
+	r.dense[o] = byte(v)
+	r.dense[o+1] = byte(v >> 8)
+}
+
+// ReadBuf copies n payload bytes starting at dense offset off.
+func (r *Region) ReadBuf(off, n int) []byte {
+	out := make([]byte, n)
+	copy(out, r.dense[off:off+n])
+	return out
+}
+
+// WriteBuf stores payload bytes at dense offset off.
+func (r *Region) WriteBuf(off int, data []byte) {
+	copy(r.dense[off:], data)
+}
+
+func (r *Region) String() string {
+	return fmt.Sprintf("sparse{base=%#x dense=%dB}", r.base, len(r.dense))
+}

@@ -1,0 +1,161 @@
+// Package usc is a miniature Universal Stub Compiler (USC) in the spirit of
+// O'Malley et al.: a declarative description of a message/descriptor layout
+// is "compiled" into accessor functions that read and write fields directly
+// in TURBOchannel sparse memory, replacing the copy-in/modify/copy-out
+// pattern traditional LANCE drivers use (§2.2.4). The compiler also reports
+// the cost (in modeled instructions and memory accesses) of each access
+// style, which the LANCE code models consume.
+package usc
+
+import (
+	"fmt"
+
+	"repro/internal/turbochannel"
+)
+
+// Field describes one field of a descriptor: its name, the index of the
+// 16-bit word it lives in, the bit offset within that word, and its width
+// in bits (1..16; multi-word fields are described as multiple fields).
+type Field struct {
+	Name  string
+	Word  int
+	Shift uint
+	Bits  uint
+}
+
+// Layout is a named descriptor format.
+type Layout struct {
+	Name   string
+	Words  int
+	Fields []Field
+}
+
+// Validate checks that every field fits its word and names are unique.
+func (l *Layout) Validate() error {
+	seen := map[string]bool{}
+	for _, f := range l.Fields {
+		if seen[f.Name] {
+			return fmt.Errorf("usc: layout %s: duplicate field %q", l.Name, f.Name)
+		}
+		seen[f.Name] = true
+		if f.Bits == 0 || f.Bits > 16 {
+			return fmt.Errorf("usc: layout %s: field %q has %d bits", l.Name, f.Name, f.Bits)
+		}
+		if f.Shift+f.Bits > 16 {
+			return fmt.Errorf("usc: layout %s: field %q overflows its word", l.Name, f.Name)
+		}
+		if f.Word < 0 || f.Word >= l.Words {
+			return fmt.Errorf("usc: layout %s: field %q in word %d of %d", l.Name, f.Name, f.Word, l.Words)
+		}
+	}
+	return nil
+}
+
+func (l *Layout) field(name string) (Field, error) {
+	for _, f := range l.Fields {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Field{}, fmt.Errorf("usc: layout %s: no field %q", l.Name, name)
+}
+
+// Accessors provides direct sparse-memory access to one descriptor instance
+// (the compiled stubs). baseWord is the word index of the descriptor's
+// first word within the region.
+type Accessors struct {
+	layout   *Layout
+	region   *turbochannel.Region
+	baseWord int
+
+	// Reads and Writes count 16-bit sparse-memory operations performed,
+	// so tests and the Table 1 experiment can compare against the
+	// copy-based style.
+	Reads  int
+	Writes int
+}
+
+// Compile checks the layout and binds it to a descriptor instance.
+func Compile(l *Layout, r *turbochannel.Region, baseWord int) (*Accessors, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if (baseWord+l.Words)*2 > r.DenseLen() {
+		return nil, fmt.Errorf("usc: descriptor %s at word %d exceeds region", l.Name, baseWord)
+	}
+	return &Accessors{layout: l, region: r, baseWord: baseWord}, nil
+}
+
+// MustCompile is Compile for statically-known layouts.
+func MustCompile(l *Layout, r *turbochannel.Region, baseWord int) *Accessors {
+	a, err := Compile(l, r, baseWord)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Get reads a field directly from sparse memory.
+func (a *Accessors) Get(name string) (uint16, error) {
+	f, err := a.layout.field(name)
+	if err != nil {
+		return 0, err
+	}
+	a.Reads++
+	w := a.region.ReadWord(a.baseWord + f.Word)
+	mask := uint16(1)<<f.Bits - 1
+	return (w >> f.Shift) & mask, nil
+}
+
+// Set writes a field directly in sparse memory (one read-modify-write when
+// the field shares its word with others, one plain write otherwise).
+func (a *Accessors) Set(name string, v uint16) error {
+	f, err := a.layout.field(name)
+	if err != nil {
+		return err
+	}
+	mask := uint16(1)<<f.Bits - 1
+	if v > mask {
+		return fmt.Errorf("usc: value %d exceeds %d-bit field %q", v, f.Bits, name)
+	}
+	idx := a.baseWord + f.Word
+	if f.Bits == 16 {
+		a.Writes++
+		a.region.WriteWord(idx, v)
+		return nil
+	}
+	a.Reads++
+	a.Writes++
+	w := a.region.ReadWord(idx)
+	w = (w &^ (mask << f.Shift)) | v<<f.Shift
+	a.region.WriteWord(idx, w)
+	return nil
+}
+
+// WordAddr exposes the sparse virtual address of a field's word for d-cache
+// modeling.
+func (a *Accessors) WordAddr(name string) (uint64, error) {
+	f, err := a.layout.field(name)
+	if err != nil {
+		return 0, err
+	}
+	return a.region.WordAddr(a.baseWord + f.Word), nil
+}
+
+// CopyDescriptor models the traditional driver style for comparison: it
+// copies the whole descriptor out of sparse memory into a dense local
+// buffer, applies setter fn to it, and writes the entire descriptor back.
+// Every update moves 2*Words*2 bytes regardless of how little changed.
+func CopyDescriptor(l *Layout, r *turbochannel.Region, baseWord int, fn func(dense []uint16)) (reads, writes int) {
+	dense := make([]uint16, l.Words)
+	for i := range dense {
+		dense[i] = r.ReadWord(baseWord + i)
+		reads++
+	}
+	fn(dense)
+	for i, w := range dense {
+		r.WriteWord(baseWord+i, w)
+		writes++
+	}
+	return reads, writes
+}

@@ -1,0 +1,132 @@
+package usc
+
+import (
+	"testing"
+
+	"repro/internal/turbochannel"
+)
+
+func testLayout() *Layout {
+	return &Layout{
+		Name:  "desc",
+		Words: 5,
+		Fields: []Field{
+			{Name: "addrlo", Word: 0, Shift: 0, Bits: 16},
+			{Name: "addrhi", Word: 1, Shift: 0, Bits: 8},
+			{Name: "flags", Word: 1, Shift: 8, Bits: 8},
+			{Name: "bcnt", Word: 2, Shift: 0, Bits: 16},
+			{Name: "status", Word: 4, Shift: 0, Bits: 16},
+		},
+	}
+}
+
+func region() *turbochannel.Region {
+	return turbochannel.NewRegion(turbochannel.SparseBase, 256)
+}
+
+func TestGetSetRoundtrip(t *testing.T) {
+	a := MustCompile(testLayout(), region(), 0)
+	if err := a.Set("bcnt", 1234); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := a.Get("bcnt"); err != nil || v != 1234 {
+		t.Fatalf("bcnt = %d, %v", v, err)
+	}
+}
+
+func TestSharedWordFieldsDoNotClobber(t *testing.T) {
+	a := MustCompile(testLayout(), region(), 0)
+	if err := a.Set("addrhi", 0x5A); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Set("flags", 0x81); err != nil {
+		t.Fatal(err)
+	}
+	hi, _ := a.Get("addrhi")
+	fl, _ := a.Get("flags")
+	if hi != 0x5A || fl != 0x81 {
+		t.Fatalf("shared word corrupted: addrhi=%#x flags=%#x", hi, fl)
+	}
+}
+
+func TestSetRejectsOverflow(t *testing.T) {
+	a := MustCompile(testLayout(), region(), 0)
+	if err := a.Set("flags", 0x100); err == nil {
+		t.Fatal("9-bit value accepted by 8-bit field")
+	}
+}
+
+func TestUnknownField(t *testing.T) {
+	a := MustCompile(testLayout(), region(), 0)
+	if _, err := a.Get("ghost"); err == nil {
+		t.Fatal("unknown field read")
+	}
+	if err := a.Set("ghost", 1); err == nil {
+		t.Fatal("unknown field written")
+	}
+	if _, err := a.WordAddr("ghost"); err == nil {
+		t.Fatal("unknown field addressed")
+	}
+}
+
+func TestValidateCatchesBadLayouts(t *testing.T) {
+	bad := []*Layout{
+		{Name: "dup", Words: 1, Fields: []Field{{Name: "x", Bits: 4}, {Name: "x", Bits: 4}}},
+		{Name: "wide", Words: 1, Fields: []Field{{Name: "x", Bits: 17}}},
+		{Name: "overflow", Words: 1, Fields: []Field{{Name: "x", Shift: 12, Bits: 8}}},
+		{Name: "outside", Words: 1, Fields: []Field{{Name: "x", Word: 3, Bits: 4}}},
+		{Name: "zero", Words: 1, Fields: []Field{{Name: "x", Bits: 0}}},
+	}
+	for _, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Fatalf("layout %s accepted", l.Name)
+		}
+	}
+}
+
+func TestCompileBoundsCheck(t *testing.T) {
+	r := turbochannel.NewRegion(turbochannel.SparseBase, 8) // 4 words only
+	if _, err := Compile(testLayout(), r, 0); err == nil {
+		t.Fatal("descriptor beyond region accepted")
+	}
+}
+
+func TestDirectAccessCheaperThanCopy(t *testing.T) {
+	r := region()
+	l := testLayout()
+	a := MustCompile(l, r, 0)
+
+	// Direct: set one field.
+	a.Reads, a.Writes = 0, 0
+	if err := a.Set("bcnt", 60); err != nil {
+		t.Fatal(err)
+	}
+	directOps := a.Reads + a.Writes
+
+	// Copy style: same single-field update moves the whole descriptor.
+	reads, writes := CopyDescriptor(l, r, 0, func(dense []uint16) { dense[2] = 60 })
+	copyOps := reads + writes
+
+	if directOps >= copyOps {
+		t.Fatalf("USC stubs (%d ops) not cheaper than copying (%d ops)", directOps, copyOps)
+	}
+	if copyOps != 10 { // 5 words in + 5 words out = the paper's 20 bytes
+		t.Fatalf("copy style moved %d words, want 10", copyOps)
+	}
+	// And both styles leave the same memory contents.
+	if v, _ := a.Get("bcnt"); v != 60 {
+		t.Fatalf("bcnt after copy update = %d", v)
+	}
+}
+
+func TestWordAddr(t *testing.T) {
+	a := MustCompile(testLayout(), region(), 5) // second descriptor
+	addr, err := a.WordAddr("bcnt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := turbochannel.NewRegion(turbochannel.SparseBase, 256).WordAddr(7)
+	if addr != want {
+		t.Fatalf("bcnt at %#x, want %#x", addr, want)
+	}
+}

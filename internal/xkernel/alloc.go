@@ -1,0 +1,82 @@
+// Package xkernel reimplements the x-kernel substrate the paper's protocol
+// stacks run on: the message tool, the map (hash table) manager with the
+// one-entry cache and the non-empty-bucket list, the event manager, the
+// continuation-based thread/stack manager, and the protocol-graph plumbing.
+//
+// Everything here is functionally real — packets are byte slices, maps hash
+// real keys, timers fire in virtual time. In addition, the objects that
+// matter for d-cache behaviour (connection state, message buffers, thread
+// stacks) carry *virtual addresses* from the allocator in this file, so the
+// code models executed alongside the real operations touch a realistic
+// simulated data layout.
+package xkernel
+
+import "fmt"
+
+// Memory-region bases. They are spread across distinct b-cache offsets so
+// that a well-configured system has no code/data b-cache conflicts; the BAD
+// layout deliberately breaks this (see internal/layout).
+const (
+	// HeapBase is where message buffers and protocol state live. Its
+	// b-cache offset is 0x40000, clear of static data (offset 0) and
+	// text (offset 0x100000).
+	HeapBase = 0x0104_0000
+	// StackBase is where thread stacks live (b-cache offset 0xC0000).
+	StackBase = 0x010C_0000
+	// StackSize is the virtual size of one thread stack.
+	StackSize = 16 * 1024
+)
+
+// Allocator hands out virtual addresses for simulated data objects. It is a
+// bump allocator with a free list per size class — enough realism for the
+// paper's purposes: addresses are stable while an object lives, freed
+// addresses are reused LIFO (so a hot free list keeps reusing cache-warm
+// memory), and the starting origin can be perturbed to model the
+// startup-dependent variation the paper attributes to the memory free list.
+type Allocator struct {
+	next uint64
+	free map[uint64][]uint64 // size class -> LIFO free list
+}
+
+// NewAllocator returns an allocator starting at HeapBase plus the given
+// perturbation offset (multiples of 64 bytes keep alignment).
+func NewAllocator(perturb uint64) *Allocator {
+	return &Allocator{
+		next: HeapBase + perturb*64,
+		free: map[uint64][]uint64{},
+	}
+}
+
+// sizeClass rounds a request up to a 64-byte multiple.
+func sizeClass(n int) uint64 {
+	if n <= 0 {
+		n = 1
+	}
+	return uint64((n + 63) &^ 63)
+}
+
+// Alloc returns the virtual address of a new object of n bytes.
+func (a *Allocator) Alloc(n int) uint64 {
+	c := sizeClass(n)
+	if fl := a.free[c]; len(fl) > 0 {
+		addr := fl[len(fl)-1]
+		a.free[c] = fl[:len(fl)-1]
+		return addr
+	}
+	addr := a.next
+	a.next += c
+	return addr
+}
+
+// Free returns an object to its size-class free list.
+func (a *Allocator) Free(addr uint64, n int) {
+	c := sizeClass(n)
+	a.free[c] = append(a.free[c], addr)
+}
+
+// InUse reports the high-water mark of the heap in bytes.
+func (a *Allocator) InUse() uint64 { return a.next - HeapBase }
+
+func (a *Allocator) String() string {
+	return fmt.Sprintf("alloc{next=%#x}", a.next)
+}

@@ -1,0 +1,122 @@
+package xkernel
+
+import "container/heap"
+
+// EventQueue is a virtual-time event scheduler. Time is measured in CPU
+// cycles (both simulated hosts run at the same 175 MHz clock, so a single
+// cycle domain serves the whole simulation). The network simulator uses one
+// queue as the global clock; protocol timers (TCP retransmission, BLAST
+// NACKs) schedule onto the same queue through the Host plumbing.
+type EventQueue struct {
+	now   uint64
+	seq   uint64
+	items eventHeap
+}
+
+// TimerEvent is a scheduled callback; it can be cancelled before it fires.
+type TimerEvent struct {
+	at        uint64
+	seq       uint64
+	fn        func()
+	cancelled bool
+}
+
+// Cancel prevents the event from firing. Cancelling a fired or already
+// cancelled event is a no-op.
+func (ev *TimerEvent) Cancel() { ev.cancelled = true }
+
+type eventHeap []*TimerEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*TimerEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// NewEventQueue returns an empty queue at time zero.
+func NewEventQueue() *EventQueue { return &EventQueue{} }
+
+// Now returns the current virtual time in cycles.
+func (q *EventQueue) Now() uint64 { return q.now }
+
+// ScheduleAt registers fn to run at absolute time at (clamped to now).
+func (q *EventQueue) ScheduleAt(at uint64, fn func()) *TimerEvent {
+	if at < q.now {
+		at = q.now
+	}
+	ev := &TimerEvent{at: at, seq: q.seq, fn: fn}
+	q.seq++
+	heap.Push(&q.items, ev)
+	return ev
+}
+
+// Schedule registers fn to run delay cycles from now.
+func (q *EventQueue) Schedule(delay uint64, fn func()) *TimerEvent {
+	return q.ScheduleAt(q.now+delay, fn)
+}
+
+// Pending reports whether any un-cancelled events remain.
+func (q *EventQueue) Pending() bool {
+	for _, ev := range q.items {
+		if !ev.cancelled {
+			return true
+		}
+	}
+	return false
+}
+
+// RunNext advances the clock to the earliest event and runs it, skipping
+// cancelled events. It reports whether an event ran.
+func (q *EventQueue) RunNext() bool {
+	for q.items.Len() > 0 {
+		ev := heap.Pop(&q.items).(*TimerEvent)
+		if ev.cancelled {
+			continue
+		}
+		q.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the queue is exhausted or the next
+// event lies beyond t; the clock ends at min(t, last event time).
+func (q *EventQueue) RunUntil(t uint64) {
+	for q.items.Len() > 0 {
+		ev := q.items[0]
+		if ev.at > t {
+			break
+		}
+		heap.Pop(&q.items)
+		if ev.cancelled {
+			continue
+		}
+		q.now = ev.at
+		ev.fn()
+	}
+	if q.now < t {
+		q.now = t
+	}
+}
+
+// Run executes events until none remain or the step budget is exhausted
+// (a safety valve against runaway protocol retransmission loops).
+func (q *EventQueue) Run(maxSteps int) {
+	for i := 0; i < maxSteps; i++ {
+		if !q.RunNext() {
+			return
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package xkernel
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Map is the x-kernel map manager: a chained hash table used to demultiplex
+// incoming packets to sessions. It carries the two features §2 of the paper
+// relies on:
+//
+//   - a one-entry cache in front of the table, exploiting the locality of
+//     network traffic (the next packet usually belongs to the same
+//     connection as the previous one), and
+//
+//   - a lazily-maintained list of non-empty buckets, so traversing all
+//     elements (TCP's timer processing walks every open connection) visits
+//     only populated buckets instead of scanning the whole, mostly-empty
+//     table. Removals leave stale buckets on the list; the next traversal
+//     unlinks them for free as it already tracks the previous list node.
+//
+// Keys are byte strings (protocols build them from header fields); values
+// are opaque. Map is not safe for concurrent use — the x-kernel serializes
+// protocol processing, and so does the simulation.
+type Map struct {
+	buckets []mapBucket
+	mask    uint32
+	n       int
+
+	// nonEmptyHead indexes the first bucket on the non-empty list, -1 if
+	// none. The list is threaded through mapBucket.nextNonEmpty.
+	nonEmptyHead int32
+
+	// One-entry cache.
+	cacheKey []byte
+	cacheVal interface{}
+	cacheOK  bool
+
+	// CacheHits and CacheMisses count Resolve outcomes for tests and for
+	// driving the code models' cache-test condition.
+	CacheHits   int
+	CacheMisses int
+	// WalkVisited counts buckets visited by the most recent Walk,
+	// including stale ones being cleaned up.
+	WalkVisited int
+	// Grows counts automatic table doublings.
+	Grows int
+}
+
+type mapBucket struct {
+	head *mapEntry
+	// onList is true while the bucket is linked on the non-empty list
+	// (possibly staleley, after lazy removal).
+	onList       bool
+	nextNonEmpty int32
+}
+
+type mapEntry struct {
+	key  []byte
+	val  interface{}
+	next *mapEntry
+}
+
+// NewMap creates a map with the given number of buckets (rounded up to a
+// power of two, minimum 8).
+func NewMap(nBuckets int) *Map {
+	size := 8
+	for size < nBuckets {
+		size <<= 1
+	}
+	m := &Map{
+		buckets:      make([]mapBucket, size),
+		mask:         uint32(size - 1),
+		nonEmptyHead: -1,
+	}
+	for i := range m.buckets {
+		m.buckets[i].nextNonEmpty = -1
+	}
+	return m
+}
+
+// fnv1a hashes a key.
+func fnv1a(key []byte) uint32 {
+	h := uint32(2166136261)
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return h
+}
+
+// Len returns the number of bound entries.
+func (m *Map) Len() int { return m.n }
+
+// NumBuckets returns the table size.
+func (m *Map) NumBuckets() int { return len(m.buckets) }
+
+// Bind inserts or replaces the binding for key.
+func (m *Map) Bind(key []byte, val interface{}) {
+	idx := fnv1a(key) & m.mask
+	b := &m.buckets[idx]
+	for e := b.head; e != nil; e = e.next {
+		if bytes.Equal(e.key, key) {
+			e.val = val
+			if m.cacheOK && bytes.Equal(m.cacheKey, key) {
+				m.cacheVal = val
+			}
+			return
+		}
+	}
+	k := append([]byte(nil), key...)
+	b.head = &mapEntry{key: k, val: val, next: b.head}
+	m.n++
+	if !b.onList {
+		b.onList = true
+		b.nextNonEmpty = m.nonEmptyHead
+		m.nonEmptyHead = int32(idx)
+	}
+	// Keep the table sparse: hash tables "operate best if they are
+	// sparsely populated" (§2.2.1), so grow before chains get long.
+	if m.n > len(m.buckets)*2 {
+		m.grow()
+	}
+}
+
+// grow doubles the table, rehashing every entry and rebuilding the
+// non-empty bucket list; Grows counts how often it happened.
+func (m *Map) grow() {
+	m.Grows++
+	old := m.buckets
+	size := len(old) * 2
+	m.buckets = make([]mapBucket, size)
+	m.mask = uint32(size - 1)
+	m.nonEmptyHead = -1
+	for i := range m.buckets {
+		m.buckets[i].nextNonEmpty = -1
+	}
+	m.n = 0
+	m.cacheOK = false
+	for i := range old {
+		for e := old[i].head; e != nil; e = e.next {
+			m.Bind(e.key, e.val)
+		}
+	}
+}
+
+// Resolve looks up key, consulting the one-entry cache first.
+func (m *Map) Resolve(key []byte) (interface{}, bool) {
+	if m.cacheOK && bytes.Equal(m.cacheKey, key) {
+		m.CacheHits++
+		return m.cacheVal, true
+	}
+	m.CacheMisses++
+	idx := fnv1a(key) & m.mask
+	for e := m.buckets[idx].head; e != nil; e = e.next {
+		if bytes.Equal(e.key, key) {
+			m.cacheKey = append(m.cacheKey[:0], key...)
+			m.cacheVal = e.val
+			m.cacheOK = true
+			return e.val, true
+		}
+	}
+	return nil, false
+}
+
+// Unbind removes the binding for key, reporting whether it existed. The
+// bucket is *not* unlinked from the non-empty list even if it became empty;
+// the next Walk cleans it up (lazy removal).
+func (m *Map) Unbind(key []byte) bool {
+	idx := fnv1a(key) & m.mask
+	b := &m.buckets[idx]
+	for pe, e := (*mapEntry)(nil), b.head; e != nil; pe, e = e, e.next {
+		if bytes.Equal(e.key, key) {
+			if pe == nil {
+				b.head = e.next
+			} else {
+				pe.next = e.next
+			}
+			m.n--
+			if m.cacheOK && bytes.Equal(m.cacheKey, key) {
+				m.cacheOK = false
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Walk visits every bound entry by following the non-empty bucket list,
+// unlinking buckets that went empty since they were linked. The visit
+// function may return false to stop early. This is the traversal that
+// replaced TCP's separate list of open connections.
+func (m *Map) Walk(visit func(key []byte, val interface{}) bool) {
+	m.WalkVisited = 0
+	prev := int32(-1)
+	idx := m.nonEmptyHead
+	for idx >= 0 {
+		b := &m.buckets[idx]
+		m.WalkVisited++
+		next := b.nextNonEmpty
+		if b.head == nil {
+			// Stale: unlink for free as we pass by.
+			b.onList = false
+			b.nextNonEmpty = -1
+			if prev < 0 {
+				m.nonEmptyHead = next
+			} else {
+				m.buckets[prev].nextNonEmpty = next
+			}
+			idx = next
+			continue
+		}
+		for e := b.head; e != nil; e = e.next {
+			if !visit(e.key, e.val) {
+				return
+			}
+		}
+		prev = idx
+		idx = next
+	}
+}
+
+// WalkFullScan visits every bound entry by scanning all buckets — the naive
+// traversal the non-empty list replaces. It sets WalkVisited to the full
+// table size, making the §2.2.1 speedup measurable.
+func (m *Map) WalkFullScan(visit func(key []byte, val interface{}) bool) {
+	m.WalkVisited = len(m.buckets)
+	for i := range m.buckets {
+		for e := m.buckets[i].head; e != nil; e = e.next {
+			if !visit(e.key, e.val) {
+				return
+			}
+		}
+	}
+}
+
+func (m *Map) String() string {
+	return fmt.Sprintf("map{%d entries, %d buckets}", m.n, len(m.buckets))
+}

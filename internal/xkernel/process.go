@@ -1,0 +1,103 @@
+package xkernel
+
+// ThreadMgr is the thread/stack manager after the RISC-motivated changes of
+// §2.2.1: stacks are first-class objects, attached to a thread on demand and
+// managed with a last-in-first-out policy so a newly attached stack is the
+// one most likely to be d-cache resident. With continuations enabled, a
+// thread that blocks without useful state on its stack releases the stack
+// immediately and resumes via a registered closure; with continuations
+// disabled (the original behaviour) a blocked thread pins its stack until it
+// is signalled.
+type ThreadMgr struct {
+	pool []uint64
+	next uint64
+
+	// UseContinuations selects the optimized blocking behaviour.
+	UseContinuations bool
+
+	// StacksCreated counts distinct stacks ever materialized; with the
+	// LIFO pool and continuations a ping-pong test should need exactly
+	// one.
+	StacksCreated int
+	// Attaches counts stack attach operations.
+	Attaches int
+}
+
+// NewThreadMgr returns a manager allocating stacks from StackBase.
+func NewThreadMgr() *ThreadMgr {
+	return &ThreadMgr{next: StackBase}
+}
+
+// AcquireStack attaches a stack: the most recently released one, or a fresh
+// virtual range.
+func (tm *ThreadMgr) AcquireStack() uint64 {
+	tm.Attaches++
+	if n := len(tm.pool); n > 0 {
+		s := tm.pool[n-1]
+		tm.pool = tm.pool[:n-1]
+		return s
+	}
+	tm.StacksCreated++
+	s := tm.next
+	tm.next += StackSize
+	return s
+}
+
+// ReleaseStack returns a stack to the LIFO pool.
+func (tm *ThreadMgr) ReleaseStack(addr uint64) {
+	tm.pool = append(tm.pool, addr)
+}
+
+// Shepherd runs one path invocation on a freshly attached stack (the common
+// pattern for interrupt-driven protocol processing) and releases the stack
+// afterwards. It returns the stack address used, which the caller binds to
+// the "$stack" symbol of its code models.
+func (tm *ThreadMgr) Shepherd(run func(stack uint64)) uint64 {
+	s := tm.AcquireStack()
+	run(s)
+	tm.ReleaseStack(s)
+	return s
+}
+
+// BlockedThread represents a thread waiting for a signal (CHAN's
+// call-reply rendezvous).
+type BlockedThread struct {
+	mgr *ThreadMgr
+	// stack is held only when continuations are disabled.
+	stack uint64
+	cont  func(stack uint64)
+	done  bool
+}
+
+// Block suspends the current path invocation. cont runs when Signal is
+// called, on a stack chosen per the manager's policy. The stack argument is
+// the invocation's current stack.
+func (tm *ThreadMgr) Block(stack uint64, cont func(stack uint64)) *BlockedThread {
+	bt := &BlockedThread{mgr: tm, cont: cont}
+	if tm.UseContinuations {
+		// State is captured in the continuation; the stack can serve
+		// other invocations meanwhile.
+		tm.ReleaseStack(stack)
+	} else {
+		bt.stack = stack
+	}
+	return bt
+}
+
+// Signal resumes the blocked thread. With continuations the resumed code
+// gets a (usually cache-warm) stack from the LIFO pool; otherwise it gets
+// the stack it blocked on.
+func (bt *BlockedThread) Signal() {
+	if bt.done {
+		return
+	}
+	bt.done = true
+	s := bt.stack
+	if bt.mgr.UseContinuations {
+		s = bt.mgr.AcquireStack()
+	}
+	bt.cont(s)
+	if bt.mgr.UseContinuations {
+		bt.mgr.ReleaseStack(s)
+	}
+}

@@ -1,0 +1,101 @@
+package xkernel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Protocol is the interface every layer of a protocol graph implements.
+// Outbound traffic flows through Push on a session-ish object each protocol
+// defines internally; inbound traffic is delivered layer to layer through
+// Demux, exactly as in the x-kernel.
+type Protocol interface {
+	// Name returns the protocol's name as it appears in the graph
+	// (e.g. "TCP", "VNET", "BLAST").
+	Name() string
+	// Demux hands an incoming message up from the protocol below.
+	Demux(m *Msg) error
+}
+
+// Graph records the protocol topology of a host for inspection and for the
+// Figure 1 rendering.
+type Graph struct {
+	edges map[string][]string // lower -> uppers
+	nodes []string
+}
+
+// NewGraph returns an empty topology.
+func NewGraph() *Graph { return &Graph{edges: map[string][]string{}} }
+
+// AddNode registers a protocol in the graph.
+func (g *Graph) AddNode(name string) {
+	for _, n := range g.nodes {
+		if n == name {
+			return
+		}
+	}
+	g.nodes = append(g.nodes, name)
+}
+
+// Connect records that upper sits directly above lower.
+func (g *Graph) Connect(upper, lower string) {
+	g.AddNode(upper)
+	g.AddNode(lower)
+	g.edges[lower] = append(g.edges[lower], upper)
+}
+
+// Nodes returns the registered protocols in registration order.
+func (g *Graph) Nodes() []string { return append([]string(nil), g.nodes...) }
+
+// Above returns the protocols directly above the named one.
+func (g *Graph) Above(name string) []string {
+	return append([]string(nil), g.edges[name]...)
+}
+
+// Render draws the stack top-down as ASCII art (Figure 1 style). Protocols
+// with no one above them are roots.
+func (g *Graph) Render() string {
+	// Compute each node's depth = longest chain above it.
+	depth := map[string]int{}
+	var depthOf func(n string, seen map[string]bool) int
+	depthOf = func(n string, seen map[string]bool) int {
+		if d, ok := depth[n]; ok {
+			return d
+		}
+		if seen[n] {
+			return 0
+		}
+		seen[n] = true
+		d := 0
+		for _, up := range g.edges[n] {
+			if dd := depthOf(up, seen) + 1; dd > d {
+				d = dd
+			}
+		}
+		depth[n] = d
+		return d
+	}
+	maxD := 0
+	for _, n := range g.nodes {
+		if d := depthOf(n, map[string]bool{}); d > maxD {
+			maxD = d
+		}
+	}
+	levels := make([][]string, maxD+1)
+	for _, n := range g.nodes {
+		levels[depth[n]] = append(levels[depth[n]], n)
+	}
+	var sb strings.Builder
+	for i, lvl := range levels {
+		sort.Strings(lvl)
+		for _, n := range lvl {
+			fmt.Fprintf(&sb, "  %s", n)
+		}
+		sb.WriteString("\n")
+		if i < len(levels)-1 {
+			sb.WriteString("   |\n")
+		}
+	}
+	return sb.String()
+}

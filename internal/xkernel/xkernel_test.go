@@ -1,0 +1,536 @@
+package xkernel
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocatorBumpAndReuse(t *testing.T) {
+	a := NewAllocator(0)
+	x := a.Alloc(100)
+	y := a.Alloc(100)
+	if x == y {
+		t.Fatal("distinct allocations share an address")
+	}
+	if x < HeapBase {
+		t.Fatalf("allocation below heap base: %#x", x)
+	}
+	a.Free(x, 100)
+	z := a.Alloc(100)
+	if z != x {
+		t.Fatalf("LIFO reuse failed: got %#x, want %#x", z, x)
+	}
+}
+
+func TestAllocatorPerturbation(t *testing.T) {
+	a0 := NewAllocator(0)
+	a1 := NewAllocator(3)
+	if a0.Alloc(64) == a1.Alloc(64) {
+		t.Fatal("perturbed allocator returned the same origin")
+	}
+}
+
+func TestAllocatorAlignment(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		a := NewAllocator(1)
+		for _, s := range sizes {
+			addr := a.Alloc(int(s))
+			if addr%64 != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMsgPushPop(t *testing.T) {
+	a := NewAllocator(0)
+	m := NewMsgData(a, []byte("payload"))
+	if err := m.Push([]byte("HDR2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Push([]byte("HDR1")); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 15 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	h1, err := m.Pop(4)
+	if err != nil || string(h1) != "HDR1" {
+		t.Fatalf("pop1 = %q, %v", h1, err)
+	}
+	h2, err := m.Pop(4)
+	if err != nil || string(h2) != "HDR2" {
+		t.Fatalf("pop2 = %q, %v", h2, err)
+	}
+	if string(m.Bytes()) != "payload" {
+		t.Fatalf("payload = %q", m.Bytes())
+	}
+}
+
+func TestMsgPushPopInverseProperty(t *testing.T) {
+	f := func(hdrs [][]byte, payload []byte) bool {
+		m := NewMsgData(nil, payload)
+		var pushed [][]byte
+		for _, h := range hdrs {
+			if len(h) > 24 {
+				h = h[:24]
+			}
+			if err := m.Push(h); err != nil {
+				break // headroom exhausted: stop pushing
+			}
+			pushed = append(pushed, h)
+		}
+		for i := len(pushed) - 1; i >= 0; i-- {
+			got, err := m.Pop(len(pushed[i]))
+			if err != nil || !bytes.Equal(got, pushed[i]) {
+				return false
+			}
+		}
+		return bytes.Equal(m.Bytes(), payload)
+	}
+	cfg := &quick.Config{MaxCount: 100}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMsgErrors(t *testing.T) {
+	m := NewMsgData(nil, []byte("abc"))
+	if _, err := m.Pop(10); err != ErrMsgUnderflow {
+		t.Fatalf("pop past end: %v", err)
+	}
+	big := make([]byte, defaultHeadroom+1)
+	if err := m.Push(big); err != ErrMsgOverflow {
+		t.Fatalf("push past headroom: %v", err)
+	}
+	m.Destroy()
+	if err := m.Push([]byte("x")); err != ErrMsgDead {
+		t.Fatalf("push after destroy: %v", err)
+	}
+	if _, err := m.Pop(1); err != ErrMsgDead {
+		t.Fatalf("pop after destroy: %v", err)
+	}
+}
+
+func TestMsgTruncateAppendPeek(t *testing.T) {
+	m := NewMsgData(nil, []byte("hello world"))
+	if err := m.Truncate(5); err != nil || string(m.Bytes()) != "hello" {
+		t.Fatalf("truncate: %q %v", m.Bytes(), err)
+	}
+	if err := m.Append([]byte("!!")); err != nil || string(m.Bytes()) != "hello!!" {
+		t.Fatalf("append: %q %v", m.Bytes(), err)
+	}
+	p, err := m.Peek(5)
+	if err != nil || string(p) != "hello" {
+		t.Fatalf("peek: %q %v", p, err)
+	}
+	if m.Len() != 7 {
+		t.Fatalf("peek must not consume: len=%d", m.Len())
+	}
+}
+
+func TestMsgRefCounting(t *testing.T) {
+	a := NewAllocator(0)
+	m := NewMsgData(a, []byte("seg"))
+	m.Incref()
+	if freed := m.Destroy(); freed {
+		t.Fatal("destroy with refs remaining must not free")
+	}
+	if freed := m.Destroy(); !freed {
+		t.Fatal("last destroy must free")
+	}
+	if freed := m.Destroy(); freed {
+		t.Fatal("double destroy must be a no-op")
+	}
+}
+
+func TestPoolRefreshShortCircuit(t *testing.T) {
+	a := NewAllocator(0)
+	p := NewPool(a, 256, 2)
+	base := p.Mallocs
+
+	p.ShortCircuit = false
+	m := p.Get()
+	m.Push([]byte("hdr"))
+	if fast := p.Refresh(m); fast {
+		t.Fatal("original path must not short-circuit")
+	}
+	if p.Mallocs != base+1 || p.Frees != 1 {
+		t.Fatalf("original refresh: mallocs=%d frees=%d", p.Mallocs-base, p.Frees)
+	}
+
+	p.ShortCircuit = true
+	m2 := p.Get()
+	m2.Push([]byte("hdr"))
+	if fast := p.Refresh(m2); !fast {
+		t.Fatal("short-circuit path not taken for sole reference")
+	}
+	if p.Mallocs != base+1 || p.Frees != 1 {
+		t.Fatal("short-circuit path must not touch malloc/free")
+	}
+	// Recycled buffer must come back with full headroom.
+	m3 := p.Get()
+	if err := m3.Push(make([]byte, defaultHeadroom)); err != nil {
+		t.Fatalf("recycled buffer lost headroom: %v", err)
+	}
+
+	// With an extra reference the fast path must be declined.
+	m4 := p.Get()
+	m4.Incref()
+	if fast := p.Refresh(m4); fast {
+		t.Fatal("short-circuit taken despite outstanding reference")
+	}
+}
+
+func TestMapBindResolveUnbind(t *testing.T) {
+	m := NewMap(64)
+	key := []byte("key1")
+	m.Bind(key, "v1")
+	if v, ok := m.Resolve(key); !ok || v != "v1" {
+		t.Fatalf("resolve: %v %v", v, ok)
+	}
+	m.Bind(key, "v2")
+	if v, _ := m.Resolve(key); v != "v2" {
+		t.Fatalf("rebind: %v", v)
+	}
+	if !m.Unbind(key) {
+		t.Fatal("unbind existing failed")
+	}
+	if _, ok := m.Resolve(key); ok {
+		t.Fatal("resolve after unbind succeeded")
+	}
+	if m.Unbind(key) {
+		t.Fatal("unbind missing succeeded")
+	}
+}
+
+func TestMapOneEntryCache(t *testing.T) {
+	m := NewMap(64)
+	m.Bind([]byte("a"), 1)
+	m.Bind([]byte("b"), 2)
+	m.Resolve([]byte("a"))
+	hits := m.CacheHits
+	m.Resolve([]byte("a"))
+	if m.CacheHits != hits+1 {
+		t.Fatal("repeated resolve must hit the one-entry cache")
+	}
+	m.Resolve([]byte("b"))
+	if m.CacheHits != hits+1 {
+		t.Fatal("different key must miss the cache")
+	}
+	// Cache must be invalidated by Unbind.
+	m.Resolve([]byte("b"))
+	m.Unbind([]byte("b"))
+	if _, ok := m.Resolve([]byte("b")); ok {
+		t.Fatal("stale cache served an unbound key")
+	}
+	// And updated by rebinding.
+	m.Bind([]byte("a"), 10)
+	m.Resolve([]byte("a"))
+	m.Bind([]byte("a"), 11)
+	if v, _ := m.Resolve([]byte("a")); v != 11 {
+		t.Fatalf("cache served stale value %v", v)
+	}
+}
+
+func TestMapWalkVisitsAllAndCleansUp(t *testing.T) {
+	m := NewMap(256)
+	want := map[string]bool{}
+	for i := 0; i < 10; i++ {
+		k := []byte{byte(i), 0x55}
+		m.Bind(k, i)
+		want[string(k)] = true
+	}
+	got := map[string]bool{}
+	m.Walk(func(k []byte, v interface{}) bool {
+		got[string(k)] = true
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("walk saw %d entries, want %d", len(got), len(want))
+	}
+	if m.WalkVisited >= m.NumBuckets() {
+		t.Fatalf("walk visited %d buckets of %d; non-empty list not working", m.WalkVisited, m.NumBuckets())
+	}
+
+	// Unbind everything: buckets go stale on the list; the next walk
+	// cleans them up, and the one after visits nothing.
+	for i := 0; i < 10; i++ {
+		m.Unbind([]byte{byte(i), 0x55})
+	}
+	m.Walk(func(k []byte, v interface{}) bool { t.Fatal("walk visited an unbound entry"); return false })
+	m.Walk(func(k []byte, v interface{}) bool { return true })
+	if m.WalkVisited != 0 {
+		t.Fatalf("stale buckets not removed lazily: %d visited on second walk", m.WalkVisited)
+	}
+}
+
+func TestMapWalkEarlyStop(t *testing.T) {
+	m := NewMap(8)
+	for i := 0; i < 5; i++ {
+		m.Bind([]byte{byte(i)}, i)
+	}
+	n := 0
+	m.Walk(func(k []byte, v interface{}) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+// Property: the map behaves like a reference map under arbitrary operation
+// sequences, and Walk enumerates exactly the live entries.
+func TestMapModelEquivalence(t *testing.T) {
+	f := func(ops []struct {
+		Key byte
+		Val uint16
+		Op  uint8
+	}) bool {
+		m := NewMap(32)
+		ref := map[byte]uint16{}
+		for _, op := range ops {
+			k := []byte{op.Key}
+			switch op.Op % 3 {
+			case 0:
+				m.Bind(k, op.Val)
+				ref[op.Key] = op.Val
+			case 1:
+				got, ok := m.Resolve(k)
+				want, wok := ref[op.Key]
+				if ok != wok || (ok && got.(uint16) != want) {
+					return false
+				}
+			case 2:
+				if m.Unbind(k) != (func() bool { _, ok := ref[op.Key]; return ok })() {
+					return false
+				}
+				delete(ref, op.Key)
+			}
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		seen := map[byte]uint16{}
+		m.Walk(func(k []byte, v interface{}) bool {
+			seen[k[0]] = v.(uint16)
+			return true
+		})
+		if len(seen) != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if seen[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The §2.2.1 claim: traversal cost tracks the number of populated buckets,
+// not the table size.
+func TestMapTraversalSpeedupProportionalToFill(t *testing.T) {
+	m := NewMap(1024)
+	for i := 0; i < 100; i++ { // ~10% fill
+		m.Bind([]byte{byte(i), byte(i >> 8), 1}, i)
+	}
+	m.Walk(func(k []byte, v interface{}) bool { return true })
+	listVisited := m.WalkVisited
+	m.WalkFullScan(func(k []byte, v interface{}) bool { return true })
+	fullVisited := m.WalkVisited
+	if fullVisited < listVisited*8 {
+		t.Fatalf("speedup too small: list visits %d, full scan %d", listVisited, fullVisited)
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	q := NewEventQueue()
+	var order []int
+	q.Schedule(30, func() { order = append(order, 3) })
+	q.Schedule(10, func() { order = append(order, 1) })
+	q.Schedule(20, func() { order = append(order, 2) })
+	q.Run(10)
+	if fmt.Sprint(order) != "[1 2 3]" {
+		t.Fatalf("order = %v", order)
+	}
+	if q.Now() != 30 {
+		t.Fatalf("clock = %d, want 30", q.Now())
+	}
+}
+
+func TestEventQueueCancelAndTies(t *testing.T) {
+	q := NewEventQueue()
+	var order []int
+	ev := q.Schedule(5, func() { order = append(order, 99) })
+	q.Schedule(5, func() { order = append(order, 1) })
+	q.Schedule(5, func() { order = append(order, 2) })
+	ev.Cancel()
+	q.Run(10)
+	if fmt.Sprint(order) != "[1 2]" {
+		t.Fatalf("order = %v (ties must run FIFO, cancelled must not fire)", order)
+	}
+}
+
+func TestEventQueueScheduleFromHandler(t *testing.T) {
+	q := NewEventQueue()
+	fired := false
+	q.Schedule(1, func() {
+		q.Schedule(2, func() { fired = true })
+	})
+	q.Run(10)
+	if !fired {
+		t.Fatal("nested scheduling lost")
+	}
+	if q.Now() != 3 {
+		t.Fatalf("clock = %d, want 3", q.Now())
+	}
+}
+
+func TestEventQueueRunUntil(t *testing.T) {
+	q := NewEventQueue()
+	n := 0
+	q.Schedule(10, func() { n++ })
+	q.Schedule(20, func() { n++ })
+	q.RunUntil(15)
+	if n != 1 {
+		t.Fatalf("RunUntil ran %d events, want 1", n)
+	}
+	if q.Now() != 15 {
+		t.Fatalf("clock = %d, want 15", q.Now())
+	}
+	if !q.Pending() {
+		t.Fatal("second event must still be pending")
+	}
+}
+
+func TestThreadMgrLIFOStacks(t *testing.T) {
+	tm := NewThreadMgr()
+	s1 := tm.AcquireStack()
+	tm.ReleaseStack(s1)
+	s2 := tm.AcquireStack()
+	if s1 != s2 {
+		t.Fatal("LIFO pool must reuse the hottest stack")
+	}
+	if tm.StacksCreated != 1 {
+		t.Fatalf("created %d stacks", tm.StacksCreated)
+	}
+}
+
+func TestShepherdReusesOneStack(t *testing.T) {
+	tm := NewThreadMgr()
+	var stacks []uint64
+	for i := 0; i < 5; i++ {
+		tm.Shepherd(func(s uint64) { stacks = append(stacks, s) })
+	}
+	for _, s := range stacks[1:] {
+		if s != stacks[0] {
+			t.Fatalf("shepherded invocations used different stacks: %v", stacks)
+		}
+	}
+}
+
+func TestBlockWithContinuationsFreesStack(t *testing.T) {
+	tm := NewThreadMgr()
+	tm.UseContinuations = true
+	s := tm.AcquireStack()
+	resumed := false
+	bt := tm.Block(s, func(stack uint64) {
+		resumed = true
+		if stack != s {
+			t.Errorf("continuation resumed on cold stack %#x, want %#x", stack, s)
+		}
+	})
+	// While blocked, another invocation can use the same stack.
+	s2 := tm.AcquireStack()
+	if s2 != s {
+		t.Fatalf("stack not released on block: got %#x", s2)
+	}
+	tm.ReleaseStack(s2)
+	bt.Signal()
+	if !resumed {
+		t.Fatal("continuation not run")
+	}
+	bt.Signal() // double signal is a no-op
+	if tm.StacksCreated != 1 {
+		t.Fatalf("created %d stacks, want 1", tm.StacksCreated)
+	}
+}
+
+func TestBlockWithoutContinuationsPinsStack(t *testing.T) {
+	tm := NewThreadMgr()
+	s := tm.AcquireStack()
+	bt := tm.Block(s, func(stack uint64) {
+		if stack != s {
+			t.Errorf("resumed on %#x, want pinned %#x", stack, s)
+		}
+	})
+	s2 := tm.AcquireStack()
+	if s2 == s {
+		t.Fatal("pinned stack was handed out while blocked")
+	}
+	bt.Signal()
+	if tm.StacksCreated != 2 {
+		t.Fatalf("created %d stacks, want 2", tm.StacksCreated)
+	}
+}
+
+func TestGraphRender(t *testing.T) {
+	g := NewGraph()
+	g.Connect("TCPTEST", "TCP")
+	g.Connect("TCP", "IP")
+	g.Connect("IP", "VNET")
+	g.Connect("VNET", "ETH")
+	g.Connect("ETH", "LANCE")
+	out := g.Render()
+	for _, name := range []string{"TCPTEST", "TCP", "IP", "VNET", "ETH", "LANCE"} {
+		if !bytes.Contains([]byte(out), []byte(name)) {
+			t.Fatalf("render missing %s:\n%s", name, out)
+		}
+	}
+	// TCPTEST must appear before LANCE (top-down rendering).
+	if bytes.Index([]byte(out), []byte("TCPTEST")) > bytes.Index([]byte(out), []byte("LANCE")) {
+		t.Fatalf("render not top-down:\n%s", out)
+	}
+	if got := g.Above("TCP"); len(got) != 1 || got[0] != "TCPTEST" {
+		t.Fatalf("Above(TCP) = %v", got)
+	}
+	if len(g.Nodes()) != 6 {
+		t.Fatalf("nodes = %v", g.Nodes())
+	}
+}
+
+func TestMapGrowsAndKeepsEntries(t *testing.T) {
+	m := NewMap(8)
+	for i := 0; i < 500; i++ {
+		m.Bind([]byte{byte(i), byte(i >> 8)}, i)
+	}
+	if m.Grows == 0 {
+		t.Fatal("table never grew")
+	}
+	if m.NumBuckets() < 256 {
+		t.Fatalf("table stayed at %d buckets for 500 entries", m.NumBuckets())
+	}
+	if m.Len() != 500 {
+		t.Fatalf("len = %d after growth", m.Len())
+	}
+	for i := 0; i < 500; i++ {
+		v, ok := m.Resolve([]byte{byte(i), byte(i >> 8)})
+		if !ok || v.(int) != i {
+			t.Fatalf("entry %d lost in rehash", i)
+		}
+	}
+	// The non-empty list must be coherent after rebuilding.
+	seen := 0
+	m.Walk(func(k []byte, v interface{}) bool { seen++; return true })
+	if seen != 500 {
+		t.Fatalf("walk after growth saw %d entries", seen)
+	}
+}

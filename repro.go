@@ -1,0 +1,178 @@
+// Package repro is the public API of this reproduction of Mosberger,
+// Peterson, Bridges and O'Malley, "Analysis of Techniques to Improve
+// Protocol Processing Latency" (University of Arizona TR 96-03 / SIGCOMM
+// 1996).
+//
+// The library simulates the paper's entire experimental apparatus: a DEC
+// 3000/600-class machine (dual-issue Alpha 21064 with direct-mapped split
+// first-level caches, a write-merging write buffer, and a 2 MB board
+// cache), an x-kernel protocol framework with functional TCP/IP and
+// Sprite-RPC protocol stacks running over a simulated LANCE Ethernet, and
+// the paper's three latency-reducing code transformations — outlining,
+// cloning (with bipartite, linear, micro-positioned and adversarial
+// layouts), and path-inlining.
+//
+// Quick start:
+//
+//	res, err := repro.Run(repro.DefaultConfig(repro.StackTCPIP, repro.ALL))
+//	fmt.Printf("roundtrip: %.1f us, mCPI %.2f\n", res.TeMeanUS, res.First().MCPI)
+//
+// Or regenerate the paper's entire evaluation section:
+//
+//	report, err := repro.RenderAll(repro.PaperQuality)
+//
+// The building blocks (machine simulator, object-code models, layout
+// engine, protocol implementations) live under internal/; this package
+// re-exports the experiment-level API a downstream user drives.
+package repro
+
+import "repro/internal/core"
+
+// Version is one of the paper's six measured configurations.
+type Version = core.Version
+
+// The six configurations of §4.2.
+const (
+	// STD includes the §2 improvements but none of the §3 techniques.
+	STD = core.STD
+	// OUT adds outlining.
+	OUT = core.OUT
+	// CLO adds cloning with the bipartite layout.
+	CLO = core.CLO
+	// BAD uses cloning to construct a pessimal layout.
+	BAD = core.BAD
+	// PIN is OUT plus path-inlining.
+	PIN = core.PIN
+	// ALL combines every technique.
+	ALL = core.ALL
+)
+
+// Versions lists all configurations in Table 4 order.
+func Versions() []Version { return core.Versions() }
+
+// StackKind selects the protocol stack under test.
+type StackKind = core.StackKind
+
+// The two test stacks of Figure 1.
+const (
+	StackTCPIP = core.StackTCPIP
+	StackRPC   = core.StackRPC
+)
+
+// CloneStrategy selects the cloned-code layout (the §3.2 ablation).
+type CloneStrategy = core.CloneStrategy
+
+// Cloned-code layout strategies.
+const (
+	Bipartite     = core.Bipartite
+	MicroPosition = core.MicroPosition
+	LinearLayout  = core.LinearLayout
+)
+
+// Config describes one experiment; Result carries its measurements.
+type (
+	Config  = core.Config
+	Result  = core.Result
+	Sample  = core.Sample
+	Quality = core.Quality
+)
+
+// Measurement effort presets.
+var (
+	Quick        = core.Quick
+	PaperQuality = core.PaperQuality
+)
+
+// DefaultConfig returns the paper's measurement shape for a stack/version.
+func DefaultConfig(kind StackKind, v Version) Config { return core.DefaultConfig(kind, v) }
+
+// Run executes one experiment.
+func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// RunVersions runs all six configurations of one stack.
+func RunVersions(kind StackKind, q Quality) (map[Version]*Result, error) {
+	return core.RunVersions(kind, q)
+}
+
+// Table and figure regeneration, one function per exhibit of the paper's
+// evaluation section.
+var (
+	Table1  = core.Table1
+	Table2  = core.Table2
+	Table3  = core.Table3
+	Table45 = core.Table45
+	Table6  = core.Table6
+	Table7  = core.Table7
+	Table8  = core.Table8
+	Table9  = core.Table9
+	Figure1 = core.Figure1
+	Figure2 = core.Figure2
+)
+
+// RenderAll regenerates the full evaluation section.
+func RenderAll(q Quality) (string, error) { return core.RenderAll(q) }
+
+// ThroughputResult reports a bulk-transfer measurement; Throughput and
+// ThroughputTable verify the paper's §4.1 claim that the latency techniques
+// do not hurt throughput.
+type ThroughputResult = core.ThroughputResult
+
+// Throughput streams TCP segments in the given version and measures
+// goodput over the 10 Mb/s simulated Ethernet.
+func Throughput(v Version, segments, payloadBytes int) (ThroughputResult, error) {
+	return core.Throughput(v, segments, payloadBytes)
+}
+
+// ThroughputTable runs the throughput check for every version.
+func ThroughputTable(segments, payloadBytes int) (string, error) {
+	return core.ThroughputTable(segments, payloadBytes)
+}
+
+// SweepPoint names one machine geometry of a sensitivity sweep.
+type SweepPoint = core.SweepPoint
+
+// CacheSweep and MachineSweep return the built-in geometry sweeps; the
+// latter contrasts the DEC 3000/600 with the paper's closing remark about a
+// 266 MHz / 66 MB/s machine.
+var (
+	CacheSweep   = core.CacheSweep
+	MachineSweep = core.MachineSweep
+)
+
+// Sensitivity records STD/ALL traces once and replays them across machine
+// geometries, quantifying how the techniques' value scales with the
+// processor/memory gap.
+func Sensitivity(kind StackKind, points []SweepPoint, q Quality) (string, error) {
+	return core.Sensitivity(kind, points, q)
+}
+
+// RecordTrace captures the client's instruction trace for one steady-state
+// path invocation; replay it with internal/trace or cmd/tracesim.
+var RecordTrace = core.RecordTrace
+
+// AssocSweep varies first-level cache associativity — the what-if ablation
+// behind the paper's remark about "small associativity caches".
+var AssocSweep = core.AssocSweep
+
+// SensitivityVersions replays an arbitrary version pair across machine
+// geometries.
+func SensitivityVersions(kind StackKind, a, b Version, points []SweepPoint, q Quality) (string, error) {
+	return core.SensitivityVersions(kind, a, b, points, q)
+}
+
+// MultiConnResult measures a round-robin ping-pong over several TCP
+// connections; MultiConnection and MultiConnectionTable explore §3.2's
+// connection-time cloning trade-off and the demux cache's locality
+// assumption.
+type MultiConnResult = core.MultiConnResult
+
+// MultiConnection runs the round-robin multi-connection ping-pong.
+func MultiConnection(nConns, roundtrips int, perConnClones bool) (MultiConnResult, error) {
+	return core.MultiConnection(nConns, roundtrips, perConnClones)
+}
+
+// MultiConnectionTable sweeps connection counts with shared vs
+// per-connection clones.
+func MultiConnectionTable(roundtrips int) (string, error) {
+	return core.MultiConnectionTable(roundtrips)
+}

@@ -1,0 +1,85 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicRunAPI(t *testing.T) {
+	cfg := DefaultConfig(StackTCPIP, ALL)
+	cfg.Warmup, cfg.Measured, cfg.Samples = 4, 8, 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TeMeanUS < 210 {
+		t.Fatalf("Te %.1f below the physical floor", res.TeMeanUS)
+	}
+	if res.First().MCPI <= 0 {
+		t.Fatal("no memory CPI measured")
+	}
+}
+
+func TestVersionsOrder(t *testing.T) {
+	vs := Versions()
+	if len(vs) != 6 || vs[0] != BAD || vs[5] != ALL {
+		t.Fatalf("Versions() = %v", vs)
+	}
+}
+
+func TestTableRenderersProduceOutput(t *testing.T) {
+	q := Quality{Warmup: 3, Measured: 4, Samples: 1}
+	for name, f := range map[string]func(Quality) (string, error){
+		"Table1": Table1, "Table2": Table2, "Table3": Table3,
+	} {
+		s, err := f(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(s, "Table") {
+			t.Fatalf("%s output malformed:\n%s", name, s)
+		}
+	}
+}
+
+func TestFigures(t *testing.T) {
+	f1, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, proto := range []string{"TCPTEST", "XRPCTEST", "BLAST", "LANCE"} {
+		if !strings.Contains(f1, proto) {
+			t.Fatalf("Figure 1 missing %s", proto)
+		}
+	}
+	f2, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f2, "#") || !strings.Contains(f2, "Outlined") {
+		t.Fatal("Figure 2 footprint malformed")
+	}
+}
+
+func TestVersionTables(t *testing.T) {
+	q := Quality{Warmup: 3, Measured: 4, Samples: 1}
+	tcpip, err := RunVersions(StackTCPIP, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpc, err := RunVersions(StackRPC, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]string{
+		"Table45": Table45(tcpip, rpc),
+		"Table6":  Table6(tcpip, rpc),
+		"Table7":  Table7(tcpip, rpc),
+		"Table8":  Table8(tcpip, rpc),
+		"Table9":  Table9(tcpip, rpc),
+	} {
+		if !strings.Contains(s, "Table") || len(s) < 100 {
+			t.Fatalf("%s malformed:\n%s", name, s)
+		}
+	}
+}
