@@ -1,0 +1,15 @@
+# Tier-1 verification and perf-trajectory targets.
+
+.PHONY: check bench-parallel test build
+
+check: ## vet + build + race-enabled tests, one command
+	./scripts/check.sh
+
+bench-parallel: ## record BENCH_parallel.json (parallel runner + build cache)
+	./scripts/bench_parallel.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/arch"
@@ -173,6 +174,58 @@ func BenchmarkLayoutAblation(b *testing.B) {
 			b.ReportMetric(float64(repl), "repl-misses")
 		})
 	}
+}
+
+// BenchmarkRunParallel measures the Table-4-shaped workload — every
+// stack×version cell, multiple samples each — under different worker-pool
+// widths. ns/op across the workers=1 and workers=N sub-benchmarks gives the
+// parallel runner's wall-clock speedup (≥2x expected at GOMAXPROCS ≥ 4);
+// results are identical at every width, which TestParallelRunMatchesSerial
+// asserts.
+func BenchmarkRunParallel(b *testing.B) {
+	widths := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		widths = append(widths, n)
+	}
+	q := core.Quality{Warmup: 4, Measured: 8, Samples: 4}
+	for _, w := range widths {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			core.SetParallelism(w)
+			defer core.SetParallelism(0)
+			for i := 0; i < b.N; i++ {
+				for _, kind := range []core.StackKind{core.StackTCPIP, core.StackRPC} {
+					if _, err := core.RunVersions(kind, q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProgramBuildCached contrasts a cold program build+link with the
+// memoized hit the experiment runner sees after the first sample.
+func BenchmarkProgramBuildCached(b *testing.B) {
+	m := arch.DEC3000_600()
+	feat := features.Improved()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BuildProgramUncached(core.StackTCPIP, core.ALL, feat, core.Bipartite, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		if _, err := core.BuildProgram(core.StackTCPIP, core.ALL, feat, core.Bipartite, m); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BuildProgram(core.StackTCPIP, core.ALL, feat, core.Bipartite, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkClassifier measures the §4.2 packet-classifier overhead on the

@@ -9,6 +9,11 @@
 //	protolat -table 4            # one table (1..9; 4 and 5 print together)
 //	protolat -figure 2           # one figure (1 or 2)
 //	protolat -stack rpc -version ALL -samples 5   # one configuration
+//	protolat -parallel 8 -quality paper           # 8 workers; same output
+//
+// Samples and table cells are independent simulations, so they run on a
+// bounded worker pool (-parallel, default GOMAXPROCS). Results assemble in
+// index order and are bit-for-bit identical to a serial run.
 package main
 
 import (
@@ -32,8 +37,10 @@ func main() {
 		tput     = flag.Bool("throughput", false, "run the throughput check instead of tables")
 		sens     = flag.String("sensitivity", "", "run a sensitivity sweep: cache, machine, or assoc")
 		mconn    = flag.Bool("multiconn", false, "run the connection-time cloning experiment")
+		parallel = flag.Int("parallel", 0, "worker pool for samples and table cells (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 	)
 	flag.Parse()
+	repro.SetParallelism(*parallel)
 
 	q := repro.Quick
 	if *quality == "paper" {

@@ -60,45 +60,51 @@ func (e *Engine) step(entry cpu.Entry) {
 	e.cpu.Step(entry)
 }
 
-// dataAddr resolves the effective address of a load/store operand.
-func (e *Engine) dataAddr(env Env, in Instr) uint64 {
-	if base, ok := env.Addr(in.Data); ok {
-		return base + uint64(in.Off)
+// dataAddr resolves the effective address of a load/store operand. The Env
+// is consulted first (run-time state shadows static storage); named operands
+// the Env does not bind use the static address LinkData cached on the
+// instruction, and unnamed operands model a stack-frame access.
+func (e *Engine) dataAddr(env Env, in *Instr) uint64 {
+	if in.Data != "" {
+		if base, ok := env.Addr(in.Data); ok {
+			return base + uint64(in.Off)
+		}
+		if in.staticOK {
+			return in.staticBase + uint64(in.Off)
+		}
+		return DefaultDataBase + uint64(in.Off)
 	}
-	if base, ok := e.prog.DataAddr(in.Data); ok {
-		return base + uint64(in.Off)
-	}
-	// Unnamed operand: model it as a stack-frame access.
 	if base, ok := env.Addr("$stack"); ok {
 		return base + uint64(in.Off)%256
 	}
 	return DefaultDataBase + uint64(in.Off)
 }
 
-// call executes one function model.
+// call executes one function model. The loop works entirely on the placed
+// blocks the linker resolved: successors and fall-throughs are pointers, so
+// a block transition costs a comparison rather than a label-map lookup.
 func (e *Engine) call(name string, env Env, depth int) error {
 	if depth > maxCallDepth {
 		return fmt.Errorf("code: call depth exceeded at %q (cycle in code models?)", name)
 	}
-	f := e.prog.funcs[name]
-	if f == nil {
-		return fmt.Errorf("code: call to unknown function %q", name)
-	}
 	pl := e.prog.placements[name]
 	if pl == nil {
+		if e.prog.funcs[name] == nil {
+			return fmt.Errorf("code: call to unknown function %q", name)
+		}
 		return fmt.Errorf("code: function %q has no placement (program not linked)", name)
 	}
 
-	cur := f.Blocks[0].Label
+	pb := pl.entry
 	for {
-		pb := pl.blocks[cur]
 		addr := pb.addr
 		// Block body.
-		for i := range pb.b.Instrs {
-			in := &pb.b.Instrs[i]
+		instrs := pb.b.Instrs
+		for i := range instrs {
+			in := &instrs[i]
 			entry := cpu.Entry{Addr: addr, Op: in.Op}
 			if in.Op.AccessesMemory() {
-				entry.DataAddr = e.dataAddr(env, *in)
+				entry.DataAddr = e.dataAddr(env, in)
 			}
 			if in.Op == arch.OpCondBr {
 				// Bare conditional branches only occur as
@@ -117,7 +123,9 @@ func (e *Engine) call(name string, env Env, depth int) error {
 		// Terminator.
 		switch pb.b.Term.Kind {
 		case TermRet:
-			for _, ein := range f.Epilogue {
+			epi := pl.fn.Epilogue
+			for i := range epi {
+				ein := &epi[i]
 				entry := cpu.Entry{Addr: addr, Op: ein.Op}
 				if ein.Op.AccessesMemory() {
 					entry.DataAddr = e.dataAddr(env, ein)
@@ -129,24 +137,24 @@ func (e *Engine) call(name string, env Env, depth int) error {
 			return nil
 
 		case TermJump:
-			succ := pb.b.Term.Then
-			if succ != pb.fall {
+			succ := pb.then
+			if succ != pb.fallThrough {
 				e.step(cpu.Entry{Addr: addr, Op: arch.OpBr, Taken: true})
 			}
-			cur = succ
+			pb = succ
 
 		case TermCond:
 			taken := env.Cond(pb.b.Term.Cond)
-			succ := pb.b.Term.Then
+			then, els := pb.then, pb.els
+			succ := then
 			if !taken {
-				succ = pb.b.Term.Else
+				succ = els
 			}
-			then, els := pb.b.Term.Then, pb.b.Term.Else
 			switch {
-			case els == pb.fall:
+			case els == pb.fallThrough:
 				// Branch targets Then; fall through to Else.
 				e.step(cpu.Entry{Addr: addr, Op: arch.OpCondBr, Taken: succ == then})
-			case then == pb.fall:
+			case then == pb.fallThrough:
 				// Inverted branch targets Else.
 				e.step(cpu.Entry{Addr: addr, Op: arch.OpCondBr, Taken: succ == els})
 			default:
@@ -157,7 +165,7 @@ func (e *Engine) call(name string, env Env, depth int) error {
 					e.step(cpu.Entry{Addr: addr + instrBytes, Op: arch.OpBr, Taken: true})
 				}
 			}
-			cur = succ
+			pb = succ
 		}
 	}
 }

@@ -96,6 +96,13 @@ type Instr struct {
 	// Prologue marks a function-prologue instruction that cloning's
 	// calling-convention specialization may skip.
 	Prologue bool
+
+	// staticBase caches the linker-assigned address of Data, filled in by
+	// LinkData; staticOK marks it valid. The Env may still shadow it with
+	// a run-time binding, but when it does not the engine reads the
+	// address here instead of hashing the symbol name per execution.
+	staticBase uint64
+	staticOK   bool
 }
 
 // TermKind is the way a basic block ends.

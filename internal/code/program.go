@@ -2,6 +2,7 @@ package code
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 )
 
@@ -26,7 +27,12 @@ type Segment struct {
 type Placement struct {
 	Segments []Segment
 	blocks   map[string]*placedBlock
-	end      uint64
+	// fn is the function this placement lays out, and entry its placed
+	// entry block — resolved once at Place time so the engine's call path
+	// does a single map lookup per invocation.
+	fn    *Function
+	entry *placedBlock
+	end   uint64
 }
 
 type placedBlock struct {
@@ -38,6 +44,12 @@ type placedBlock struct {
 	// size is the block's static instruction count including the
 	// materialized terminator.
 	size int
+	// fallThrough, then and els are the placed successors, resolved at
+	// Place time so the engine's block-transition loop chases pointers
+	// instead of hashing labels. fallThrough is nil at segment end; then
+	// and els are nil for kinds that do not use them.
+	fallThrough *placedBlock
+	then, els   *placedBlock
 }
 
 // End returns the first address past the placement's highest segment.
@@ -211,7 +223,7 @@ func (p *Program) Place(name string, segs []Segment) error {
 	if len(covered) != len(f.Blocks) {
 		return fmt.Errorf("code: Place %s: %d of %d blocks placed", name, len(covered), len(f.Blocks))
 	}
-	pl := &Placement{Segments: segs, blocks: map[string]*placedBlock{}}
+	pl := &Placement{Segments: segs, blocks: map[string]*placedBlock{}, fn: f}
 	for _, s := range segs {
 		addr := s.Addr
 		for i, l := range s.Labels {
@@ -228,6 +240,21 @@ func (p *Program) Place(name string, segs []Segment) error {
 			pl.end = addr
 		}
 	}
+	// Resolve successor labels to placed-block pointers so execution never
+	// consults the label map again.
+	for _, pb := range pl.blocks {
+		if pb.fall != "" {
+			pb.fallThrough = pl.blocks[pb.fall]
+		}
+		switch pb.b.Term.Kind {
+		case TermJump:
+			pb.then = pl.blocks[pb.b.Term.Then]
+		case TermCond:
+			pb.then = pl.blocks[pb.b.Term.Then]
+			pb.els = pl.blocks[pb.b.Term.Else]
+		}
+	}
+	pl.entry = pl.blocks[f.Blocks[0].Label]
 	p.placements[name] = pl
 	return nil
 }
@@ -362,6 +389,25 @@ func (p *Program) LinkData() error {
 		p.dataSizes[n] = sz
 		addr += uint64(sz)
 	}
+	// Annotate every named operand with its linker-assigned fallback
+	// address so the engine's effective-address path only consults the Env
+	// (which may shadow the static symbol) and never this map.
+	for _, f := range p.funcs {
+		annotate := func(in *Instr) {
+			in.staticOK = false
+			if a, ok := p.dataSyms[in.Data]; ok {
+				in.staticBase, in.staticOK = a, true
+			}
+		}
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				annotate(&b.Instrs[i])
+			}
+		}
+		for i := range f.Epilogue {
+			annotate(&f.Epilogue[i])
+		}
+	}
 	return nil
 }
 
@@ -369,6 +415,51 @@ func (p *Program) LinkData() error {
 func (p *Program) DataAddr(name string) (uint64, bool) {
 	a, ok := p.dataSyms[name]
 	return a, ok
+}
+
+// LayoutFingerprint hashes everything the engine consults at run time: the
+// link order, every function's blocks (labels, kinds, instruction streams,
+// terminators, epilogue), every placed block's address, size and physical
+// fall-through, and the static data assignment. Two calls on an untouched
+// program return the same value, so tests use it to prove that programs are
+// never mutated after linking — the invariant that lets the experiment
+// runner share one linked image across hosts and concurrent samples.
+func (p *Program) LayoutFingerprint() uint64 {
+	h := fnv.New64a()
+	hashInstr := func(in *Instr) {
+		fmt.Fprintf(h, "i%d,%s,%d,%s,%t,%t,%d,%t;", in.Op, in.Data, in.Off, in.Call, in.CallLoad, in.Prologue, in.staticBase, in.staticOK)
+	}
+	for _, n := range p.order {
+		f := p.funcs[n]
+		fmt.Fprintf(h, "f%s,%d:", n, f.Class)
+		for _, b := range f.Blocks {
+			fmt.Fprintf(h, "b%s,%d,%d,%s,%s,%s:", b.Label, b.Kind, b.Term.Kind, b.Term.Cond, b.Term.Then, b.Term.Else)
+			for i := range b.Instrs {
+				hashInstr(&b.Instrs[i])
+			}
+		}
+		for i := range f.Epilogue {
+			hashInstr(&f.Epilogue[i])
+		}
+		if pl := p.placements[n]; pl != nil {
+			fmt.Fprintf(h, "p%d:", pl.end)
+			for _, b := range f.Blocks {
+				if pb := pl.blocks[b.Label]; pb != nil {
+					fmt.Fprintf(h, "@%s,%d,%d,%s;", b.Label, pb.addr, pb.size, pb.fall)
+				}
+			}
+		}
+	}
+	syms := make([]string, 0, len(p.dataSyms))
+	for n := range p.dataSyms {
+		syms = append(syms, n)
+	}
+	sort.Strings(syms)
+	for _, n := range syms {
+		fmt.Fprintf(h, "d%s,%d,%d;", n, p.dataSyms[n], p.dataSizes[n])
+	}
+	fmt.Fprintf(h, "t%d,%d", p.textBase, p.textEnd)
+	return h.Sum64()
 }
 
 // StaticInstrs sums the body instruction counts of all functions.

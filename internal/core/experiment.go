@@ -90,8 +90,14 @@ type Result struct {
 }
 
 // First returns the first sample (detailed statistics are reported from it,
-// as the paper reports one representative trace).
-func (r *Result) First() Sample { return r.Samples[0] }
+// as the paper reports one representative trace). A result with no samples
+// yields the zero Sample.
+func (r *Result) First() Sample {
+	if len(r.Samples) == 0 {
+		return Sample{}
+	}
+	return r.Samples[0]
+}
 
 // TpMeanUS averages processing time over samples.
 func (r *Result) TpMeanUS() float64 {
@@ -120,7 +126,11 @@ func (r *Result) ICPIMean() float64 {
 	return s / float64(len(r.Samples))
 }
 
-// Run executes the experiment.
+// Run executes the experiment. Samples are independent — each gets its own
+// event queue, hosts and caches, and shares only the immutable linked
+// program — so they fan out over a bounded worker pool (see SetParallelism)
+// and assemble in index order, making the result identical to serial
+// execution.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Samples < 1 {
 		cfg.Samples = 1
@@ -132,13 +142,19 @@ func Run(cfg Config) (*Result, error) {
 		cfg.Measured = 8
 	}
 	res := &Result{Config: cfg}
-	for i := 0; i < cfg.Samples; i++ {
+	samples := make([]Sample, cfg.Samples)
+	err := forEachIndexed(cfg.Samples, Parallelism(), func(i int) error {
 		s, err := runSample(cfg, i)
 		if err != nil {
-			return nil, fmt.Errorf("core: sample %d: %w", i, err)
+			return fmt.Errorf("core: sample %d: %w", i, err)
 		}
-		res.Samples = append(res.Samples, s)
+		samples[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Samples = samples
 	// Latency mean and standard deviation across samples.
 	var sum, sum2 float64
 	for _, s := range res.Samples {
@@ -251,7 +267,7 @@ func buildPair(cfg Config, sampleIdx, roundtrips int) (*hostPair, error) {
 		if cfg.UseClassifier && (cfg.Version == PIN || cfg.Version == ALL) {
 			cl := classifier.ForTCPIP()
 			client.Dev.Classify = cl.Match
-			server.Dev.Classify = classifier.ForTCPIP().Match
+			server.Dev.Classify = cl.Match
 		}
 		hp.stampFn = func() []uint64 { return client.Test.Stamps }
 		hp.completedFn = func() int { return client.Test.Completed }
@@ -260,6 +276,36 @@ func buildPair(cfg Config, sampleIdx, roundtrips int) (*hostPair, error) {
 		hp.onRoundtrip = func(f func(int)) { client.Test.OnRoundtrip = f }
 	}
 	return hp, nil
+}
+
+// addrBitset tracks distinct addresses over the program's text range at a
+// fixed granularity (1<<shift bytes) — the dense replacement for the
+// per-sample coverage maps, sized once from the linked image.
+type addrBitset struct {
+	base  uint64 // first tracked unit (address >> shift)
+	words []uint64
+	shift uint
+	count int
+}
+
+func newAddrBitset(textBase, textEnd uint64, shift uint) *addrBitset {
+	base := textBase >> shift
+	n := textEnd>>shift - base + 1
+	return &addrBitset{base: base, shift: shift, words: make([]uint64, (n+63)/64)}
+}
+
+// add marks an address; out-of-range addresses (nothing the engine emits)
+// are ignored.
+func (s *addrBitset) add(addr uint64) {
+	i := addr>>s.shift - s.base // below-base underflows past len
+	w := i >> 6
+	if w >= uint64(len(s.words)) {
+		return
+	}
+	if bit := uint64(1) << (i & 63); s.words[w]&bit == 0 {
+		s.words[w] |= bit
+		s.count++
+	}
 }
 
 // runSample performs one measured run.
@@ -273,11 +319,11 @@ func runSample(cfg Config, sampleIdx int) (Sample, error) {
 	ch := hp.clientHost
 
 	var startMetrics cpu.Metrics
-	executed := map[uint64]struct{}{}
-	fetchedBlocks := map[uint64]struct{}{}
+	executed := newAddrBitset(hp.clientProg.TextBase(), hp.clientProg.TextEnd(), 2)
+	fetchedBlocks := newAddrBitset(hp.clientProg.TextBase(), hp.clientProg.TextEnd(), 5)
 	coverage := func(e cpu.Entry) {
-		executed[e.Addr] = struct{}{}
-		fetchedBlocks[e.Addr>>5] = struct{}{}
+		executed.add(e.Addr)
+		fetchedBlocks.add(e.Addr)
 	}
 
 	// Latency is averaged over all measured roundtrips; the trace, CPI and
@@ -314,9 +360,9 @@ func runSample(cfg Config, sampleIdx int) (Sample, error) {
 	te := float64(stamps[roundtrips-1]-stamps[cfg.Warmup-1]) / M / m.CyclesPerMicrosecond()
 
 	unused := 0.0
-	if len(fetchedBlocks) > 0 {
-		slots := float64(len(fetchedBlocks) * m.InstrPerBlock())
-		unused = 1 - float64(len(executed))/slots
+	if fetchedBlocks.count > 0 {
+		slots := float64(fetchedBlocks.count * m.InstrPerBlock())
+		unused = 1 - float64(executed.count)/slots
 		if unused < 0 {
 			unused = 0
 		}

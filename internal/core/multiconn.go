@@ -177,23 +177,40 @@ func MultiConnection(nConns, roundtrips int, perConnClones bool) (MultiConnResul
 
 // MultiConnectionTable sweeps connection counts with and without
 // per-connection clones — the §3.2 locality-vs-specialization trade-off.
+// Each (connections, clone-mode) cell is an independent simulation; the
+// cells run concurrently and render in sweep order.
 func MultiConnectionTable(roundtrips int) (string, error) {
+	type cell struct {
+		n   int
+		per bool
+	}
+	var cells []cell
+	for _, n := range []int{1, 2, 4} {
+		for _, per := range []bool{false, true} {
+			cells = append(cells, cell{n, per})
+		}
+	}
+	results := make([]MultiConnResult, len(cells))
+	err := forEachIndexed(len(cells), Parallelism(), func(i int) error {
+		r, err := MultiConnection(cells[i].n, roundtrips, cells[i].per)
+		results[i] = r
+		return err
+	})
+	if err != nil {
+		return "", err
+	}
+
 	var sb strings.Builder
 	sb.WriteString("Connection-time cloning: locality vs. specialization (TCP/IP round-robin ping-pong)\n")
 	sb.WriteString(fmt.Sprintf("%-6s %-18s %10s %12s %12s\n", "conns", "clones", "Te [us]", "cache hits", "instrs/RT"))
-	for _, n := range []int{1, 2, 4} {
-		for _, per := range []bool{false, true} {
-			r, err := MultiConnection(n, roundtrips, per)
-			if err != nil {
-				return "", err
-			}
-			label := "shared (stack-time)"
-			if per {
-				label = "per-connection"
-			}
-			sb.WriteString(fmt.Sprintf("%-6d %-18s %10.1f %11.0f%% %12.0f\n",
-				n, label, r.TeUS, r.CacheHitRate*100, r.InstrPerRT))
+	for i, c := range cells {
+		r := results[i]
+		label := "shared (stack-time)"
+		if c.per {
+			label = "per-connection"
 		}
+		sb.WriteString(fmt.Sprintf("%-6d %-18s %10.1f %11.0f%% %12.0f\n",
+			c.n, label, r.TeUS, r.CacheHitRate*100, r.InstrPerRT))
 	}
 	sb.WriteString("\nPer-connection clones execute fewer instructions (connection state is\n" +
 		"partially evaluated into the code) but alternate between code copies,\n" +

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/code"
+	"repro/internal/protocols/features"
+)
+
+// progKey identifies one linked program image. Every field is comparable,
+// and buildProgram is a pure function of them, so the key fully determines
+// the image.
+type progKey struct {
+	Stack    StackKind
+	Version  Version
+	Feat     features.Set
+	Strategy CloneStrategy
+	Machine  arch.Machine
+}
+
+// progEntry is one cache slot; the Once gives singleflight semantics so
+// concurrent samples asking for the same layout link it exactly once.
+type progEntry struct {
+	once sync.Once
+	prog *code.Program
+	err  error
+}
+
+var progCache sync.Map // progKey -> *progEntry
+
+// BuildProgram links the model image for one host in the given version.
+//
+// Results are memoized: the build is deterministic and the returned program
+// is immutable once linked (the engine only reads it), so the two hosts of a
+// run, all its samples, and every repeated cell of a sweep share one linked
+// image. Callers that need a private copy must Clone (and re-link) it.
+func BuildProgram(kind StackKind, v Version, feat features.Set, strat CloneStrategy, m arch.Machine) (*code.Program, error) {
+	key := progKey{Stack: kind, Version: v, Feat: feat, Strategy: strat, Machine: m}
+	slot, _ := progCache.LoadOrStore(key, &progEntry{})
+	e := slot.(*progEntry)
+	e.once.Do(func() {
+		e.prog, e.err = buildProgram(kind, v, feat, strat, m)
+	})
+	return e.prog, e.err
+}
+
+// BuildProgramUncached performs a fresh build and link, bypassing the cache.
+// Tests and benchmarks use it to verify that cached and cold builds agree
+// and to measure the cost memoization avoids.
+func BuildProgramUncached(kind StackKind, v Version, feat features.Set, strat CloneStrategy, m arch.Machine) (*code.Program, error) {
+	return buildProgram(kind, v, feat, strat, m)
+}

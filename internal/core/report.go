@@ -34,15 +34,26 @@ func (q Quality) Apply(cfg Config) Config {
 	return cfg
 }
 
-// RunVersions runs all six configurations of a stack.
+// RunVersions runs all six configurations of a stack. The cells are
+// independent experiments, so they run concurrently on the worker pool and
+// assemble in Table 4 order.
 func RunVersions(kind StackKind, q Quality) (map[Version]*Result, error) {
-	out := map[Version]*Result{}
-	for _, v := range Versions() {
-		res, err := Run(q.Apply(DefaultConfig(kind, v)))
+	vs := Versions()
+	results := make([]*Result, len(vs))
+	err := forEachIndexed(len(vs), Parallelism(), func(i int) error {
+		res, err := Run(q.Apply(DefaultConfig(kind, vs[i])))
 		if err != nil {
-			return nil, fmt.Errorf("%v/%v: %w", kind, v, err)
+			return fmt.Errorf("%v/%v: %w", kind, vs[i], err)
 		}
-		out[v] = res
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[Version]*Result{}
+	for i, v := range vs {
+		out[v] = results[i]
 	}
 	return out, nil
 }
@@ -75,23 +86,29 @@ func Table1(q Quality) (string, error) {
 		return res.First().TraceLen, nil
 	}
 
-	base, err := measure(features.Improved())
+	// Cell 0 is the fully improved baseline; cell i+1 disables one
+	// improvement. All cells are independent runs, measured concurrently.
+	lens := make([]float64, len(rows)+1)
+	err := forEachIndexed(len(rows)+1, Parallelism(), func(i int) error {
+		feat := features.Improved()
+		if i > 0 {
+			rows[i-1].off(&feat)
+		}
+		v, err := measure(feat)
+		lens[i] = v
+		return err
+	})
 	if err != nil {
 		return "", err
 	}
+	base := lens[0]
 
 	var sb strings.Builder
 	sb.WriteString("Table 1: Dynamic Instruction Count Reductions (TCP/IP path, per roundtrip)\n")
 	sb.WriteString(fmt.Sprintf("%-52s %s\n", "Technique", "Instructions saved"))
 	total := 0.0
-	for _, r := range rows {
-		feat := features.Improved()
-		r.off(&feat)
-		withOff, err := measure(feat)
-		if err != nil {
-			return "", err
-		}
-		saved := withOff - base
+	for i, r := range rows {
+		saved := lens[i+1] - base
 		total += saved
 		sb.WriteString(fmt.Sprintf("%-52s %8.0f\n", r.name+":", saved))
 	}
@@ -346,14 +363,18 @@ func RenderAll(q Quality) (string, error) {
 	if err := add(Table3(q)); err != nil {
 		return "", err
 	}
-	tcpip, err := RunVersions(StackTCPIP, q)
-	if err != nil {
+	// The two stacks' version sweeps are independent; run them
+	// concurrently (each fans its own cells out on the shared pool).
+	kinds := []StackKind{StackTCPIP, StackRPC}
+	byKind := make([]map[Version]*Result, len(kinds))
+	if err := forEachIndexed(len(kinds), Parallelism(), func(i int) error {
+		r, err := RunVersions(kinds[i], q)
+		byKind[i] = r
+		return err
+	}); err != nil {
 		return "", err
 	}
-	rpc, err := RunVersions(StackRPC, q)
-	if err != nil {
-		return "", err
-	}
+	tcpip, rpc := byKind[0], byKind[1]
 	sb.WriteString(Table45(tcpip, rpc) + "\n")
 	sb.WriteString(Table6(tcpip, rpc) + "\n")
 	sb.WriteString(Table7(tcpip, rpc) + "\n")

@@ -78,32 +78,54 @@ func AssocSweep() []SweepPoint {
 	return pts
 }
 
-// SensitivityVersions is Sensitivity generalized to an arbitrary pair of
-// versions (e.g. BAD vs ALL for the associativity question).
-func SensitivityVersions(kind StackKind, a, b Version, points []SweepPoint, q Quality) (string, error) {
-	traces := map[Version]*trace.Trace{}
-	for _, v := range []Version{a, b} {
-		cfg := q.Apply(DefaultConfig(kind, v))
+// recordPair records one trace per version, concurrently (each recording is
+// an independent simulated run).
+func recordPair(kind StackKind, versions []Version, q Quality) ([]*trace.Trace, error) {
+	traces := make([]*trace.Trace, len(versions))
+	err := forEachIndexed(len(versions), Parallelism(), func(i int) error {
+		cfg := q.Apply(DefaultConfig(kind, versions[i]))
 		cfg.Samples = 1
 		t, err := RecordTrace(cfg)
 		if err != nil {
-			return "", fmt.Errorf("record %v: %w", v, err)
+			return fmt.Errorf("record %v: %w", versions[i], err)
 		}
-		traces[v] = t
+		traces[i] = t
+		return nil
+	})
+	return traces, err
+}
+
+// SensitivityVersions is Sensitivity generalized to an arbitrary pair of
+// versions (e.g. BAD vs ALL for the associativity question). Replays are
+// pure functions of (trace, machine), so all sweep points run concurrently
+// and render in sweep order.
+func SensitivityVersions(kind StackKind, a, b Version, points []SweepPoint, q Quality) (string, error) {
+	traces, err := recordPair(kind, []Version{a, b}, q)
+	if err != nil {
+		return "", err
+	}
+	type row struct{ ma, mb cpu.Metrics }
+	rows := make([]row, len(points))
+	err = forEachIndexed(len(points), Parallelism(), func(i int) error {
+		ma, _, err := trace.Replay(traces[0], points[i].Machine)
+		if err != nil {
+			return err
+		}
+		mb, _, err := trace.Replay(traces[1], points[i].Machine)
+		if err != nil {
+			return err
+		}
+		rows[i] = row{ma, mb}
+		return nil
+	})
+	if err != nil {
+		return "", err
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Replay of %v %v vs %v traces across geometries\n", kind, a, b)
 	fmt.Fprintf(&sb, "%-34s %12s %12s\n", "machine", a.String()+" mCPI", b.String()+" mCPI")
-	for _, pt := range points {
-		ma, _, err := trace.Replay(traces[a], pt.Machine)
-		if err != nil {
-			return "", err
-		}
-		mb, _, err := trace.Replay(traces[b], pt.Machine)
-		if err != nil {
-			return "", err
-		}
-		fmt.Fprintf(&sb, "%-34s %12.2f %12.2f\n", pt.Label, ma.MCPI(), mb.MCPI())
+	for i, pt := range points {
+		fmt.Fprintf(&sb, "%-34s %12.2f %12.2f\n", pt.Label, rows[i].ma.MCPI(), rows[i].mb.MCPI())
 	}
 	return sb.String(), nil
 }
@@ -123,30 +145,31 @@ func MachineSweep() []SweepPoint {
 // argument that the techniques grow more important as the processor/memory
 // gap widens.
 func Sensitivity(kind StackKind, points []SweepPoint, q Quality) (string, error) {
-	traces := map[Version]*trace.Trace{}
-	for _, v := range []Version{STD, ALL} {
-		cfg := q.Apply(DefaultConfig(kind, v))
-		cfg.Samples = 1
-		t, err := RecordTrace(cfg)
-		if err != nil {
-			return "", fmt.Errorf("record %v: %w", v, err)
+	traces, err := recordPair(kind, []Version{STD, ALL}, q)
+	if err != nil {
+		return "", err
+	}
+
+	rows := make([][2]cpu.Metrics, len(points))
+	err = forEachIndexed(len(points), Parallelism(), func(i int) error {
+		for j := range traces {
+			m, _, err := trace.Replay(traces[j], points[i].Machine)
+			if err != nil {
+				return fmt.Errorf("replay %s: %w", points[i].Label, err)
+			}
+			rows[i][j] = m
 		}
-		traces[v] = t
+		return nil
+	})
+	if err != nil {
+		return "", err
 	}
 
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Sensitivity of the %v techniques to machine geometry (trace replay)\n", kind)
 	fmt.Fprintf(&sb, "%-34s %10s %10s %12s %12s\n", "machine", "STD mCPI", "ALL mCPI", "ALL speedup", "saved [us]")
-	for _, pt := range points {
-		var metrics [2]cpu.Metrics
-		for i, v := range []Version{STD, ALL} {
-			m, _, err := trace.Replay(traces[v], pt.Machine)
-			if err != nil {
-				return "", fmt.Errorf("replay %s: %w", pt.Label, err)
-			}
-			metrics[i] = m
-		}
-		std, all := metrics[0], metrics[1]
+	for i, pt := range points {
+		std, all := rows[i][0], rows[i][1]
 		speedup := 100 * (float64(std.Cycles) - float64(all.Cycles)) / float64(std.Cycles)
 		savedUS := (float64(std.Cycles) - float64(all.Cycles)) / pt.Machine.CyclesPerMicrosecond()
 		fmt.Fprintf(&sb, "%-34s %10.2f %10.2f %11.1f%% %12.1f\n", pt.Label, std.MCPI(), all.MCPI(), speedup, savedUS)

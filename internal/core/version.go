@@ -132,8 +132,9 @@ func usageHint(spec layout.Spec) map[string]int {
 	return u
 }
 
-// BuildProgram links the model image for one host in the given version.
-func BuildProgram(kind StackKind, v Version, feat features.Set, strat CloneStrategy, m arch.Machine) (*code.Program, error) {
+// buildProgram links the model image for one host in the given version; the
+// exported, memoized entry point is BuildProgram in progcache.go.
+func buildProgram(kind StackKind, v Version, feat features.Set, strat CloneStrategy, m arch.Machine) (*code.Program, error) {
 	fns, spec := stackModels(kind, feat)
 	base := code.NewProgram()
 	if err := base.Add(fns...); err != nil {

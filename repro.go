@@ -86,8 +86,19 @@ var (
 // DefaultConfig returns the paper's measurement shape for a stack/version.
 func DefaultConfig(kind StackKind, v Version) Config { return core.DefaultConfig(kind, v) }
 
-// Run executes one experiment.
+// Run executes one experiment. Samples fan out over a bounded worker pool
+// (see SetParallelism) and assemble in index order, so results are
+// bit-for-bit identical to serial execution.
 func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// SetParallelism bounds the worker pool Run and the table generators use;
+// n <= 0 restores the default (GOMAXPROCS). Every sample and table cell is
+// an independent simulation sharing only immutable linked programs, so the
+// setting changes wall-clock time, never results.
+func SetParallelism(n int) { core.SetParallelism(n) }
+
+// Parallelism reports the current worker-pool width.
+func Parallelism() int { return core.Parallelism() }
 
 // RunVersions runs all six configurations of one stack.
 func RunVersions(kind StackKind, q Quality) (map[Version]*Result, error) {

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verification in one command: vet, build, and the full test suite
+# under the race detector (the parallel runner is on by default, so -race
+# exercises the worker pools).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
