@@ -10,6 +10,8 @@
 //	protolat -figure 2           # one figure (1 or 2)
 //	protolat -stack rpc -version ALL -samples 5   # one configuration
 //	protolat -parallel 8 -quality paper           # 8 workers; same output
+//	protolat -faults -seed 7                      # fault-injection study
+//	protolat -faults -rates 0,0.05 -stack rpc     # custom rates / RPC stack
 //
 // Samples and table cells are independent simulations, so they run on a
 // bounded worker pool (-parallel, default GOMAXPROCS). Results assemble in
@@ -37,6 +39,9 @@ func main() {
 		tput     = flag.Bool("throughput", false, "run the throughput check instead of tables")
 		sens     = flag.String("sensitivity", "", "run a sensitivity sweep: cache, machine, or assoc")
 		mconn    = flag.Bool("multiconn", false, "run the connection-time cloning experiment")
+		faultrun = flag.Bool("faults", false, "run the fault-injection study (degraded-path latency per layout strategy)")
+		seed     = flag.Uint64("seed", 1, "fault-plan seed for -faults; same seed = byte-identical report at any -parallel")
+		rates    = flag.String("rates", "", "comma-separated fault rates for -faults (default 0,0.02,0.05,0.10)")
 		parallel = flag.Int("parallel", 0, "worker pool for samples and table cells (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 	)
 	flag.Parse()
@@ -47,6 +52,21 @@ func main() {
 		q = repro.PaperQuality
 	}
 
+	if *faultrun {
+		kind := repro.StackTCPIP
+		if strings.EqualFold(*stack, "rpc") {
+			kind = repro.StackRPC
+		}
+		cfg := repro.DefaultFaultStudy(kind, *seed)
+		if *quality != "paper" {
+			cfg.Quality = repro.Quality{Warmup: 3, Measured: 12, Samples: 1}
+		}
+		if *rates != "" {
+			cfg.Rates = parseRates(*rates)
+		}
+		emit(repro.RunFaultStudy(cfg))
+		return
+	}
 	if *tput {
 		emit(repro.ThroughputTable(40, 1400))
 		return
@@ -133,6 +153,19 @@ func runOne(stack, version string, samples int, classify bool, q repro.Quality) 
 	fmt.Printf("%v %v: Te %.1f +- %.2f us | Tp %.1f us | %0.f instrs | CPI %.2f (iCPI %.2f, mCPI %.2f)\n",
 		kind, ver, res.TeMeanUS, res.TeStdUS, s.TpUS, s.TraceLen, s.CPI, s.ICPI, s.MCPI)
 	fmt.Printf("  i-cache %v | d-cache/wb %v | b-cache %v\n", s.ICache, s.DCache, s.BCache)
+}
+
+func parseRates(s string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		var r float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%g", &r); err != nil || r < 0 || r > 1 {
+			fmt.Fprintf(os.Stderr, "bad fault rate %q (want 0..1)\n", part)
+			os.Exit(2)
+		}
+		out = append(out, r)
+	}
+	return out
 }
 
 func emit(s string, err error) {

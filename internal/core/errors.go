@@ -1,0 +1,49 @@
+package core
+
+import "fmt"
+
+// SimPanicError is a panic inside one simulated sample, converted into a
+// structured error by the per-sample recovery guard so a single corrupted
+// run reports its failing seed instead of killing the whole worker pool.
+type SimPanicError struct {
+	// Sample is the failing sample index; Seed the fault-plan seed it ran
+	// under (0 when no fault plan was active).
+	Sample int
+	Seed   uint64
+	// Value is the recovered panic value; Stack the goroutine stack at
+	// the panic site.
+	Value interface{}
+	Stack []byte
+}
+
+func (e *SimPanicError) Error() string {
+	return fmt.Sprintf("core: sample %d (fault seed %#x) panicked: %v", e.Sample, e.Seed, e.Value)
+}
+
+// BudgetError is the per-sample event-budget watchdog firing: the
+// simulation executed Budget events without draining the queue (a
+// retransmission loop or timer leak), so the sample was cut off rather
+// than hanging its worker.
+type BudgetError struct {
+	Sample          int
+	Budget          int
+	Completed, Want int
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("core: sample %d: event budget %d exhausted at %d/%d roundtrips (runaway event loop?)",
+		e.Sample, e.Budget, e.Completed, e.Want)
+}
+
+// InvariantError reports a violated simulation invariant after a run:
+// non-monotonic roundtrip timestamps, an undrained event queue, or link
+// frame accounting that does not reconcile with the fault injector.
+type InvariantError struct {
+	Sample int
+	Check  string
+	Detail string
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("core: sample %d: invariant %q violated: %s", e.Sample, e.Check, e.Detail)
+}

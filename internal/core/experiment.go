@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime/debug"
 
 	"repro/internal/arch"
 	"repro/internal/classifier"
 	"repro/internal/code"
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/protocols/features"
 	"repro/internal/protocols/rpc"
@@ -37,6 +39,35 @@ type Config struct {
 	// receive path of PIN/ALL (the paper's default measurements assume a
 	// zero-overhead classifier).
 	UseClassifier bool
+
+	// Faults, when non-nil and active, injects link faults per the plan.
+	// Each sample derives its own seed from (plan seed, sample index), so
+	// parallel runs remain byte-identical to serial ones.
+	Faults *faults.Plan
+
+	// EventBudget bounds the events one sample may execute before the
+	// watchdog declares it runaway; 0 selects DefaultEventBudget.
+	EventBudget int
+}
+
+// DefaultEventBudget is the per-sample watchdog limit (the historical
+// hard-coded safety valve, now configurable).
+const DefaultEventBudget = 1_000_000
+
+func (c Config) eventBudget() int {
+	if c.EventBudget > 0 {
+		return c.EventBudget
+	}
+	return DefaultEventBudget
+}
+
+// faultSeed reports the fault-plan seed sample i runs under (0 when no
+// plan is active) — the value a SimPanicError surfaces for reproduction.
+func (c Config) faultSeed(i int) uint64 {
+	if c.Faults == nil || !c.Faults.Active() {
+		return 0
+	}
+	return c.Faults.ForSample(i).Seed
 }
 
 // DefaultConfig returns the paper's measurement shape for the given stack
@@ -74,6 +105,35 @@ type Sample struct {
 	UnusedICacheFrac float64
 	// ClassifierMisses counts fast-path classification failures.
 	ClassifierMisses int
+	// Faults carries the run's fault-injection and recovery accounting
+	// (zero when no fault plan is active).
+	Faults FaultStats
+}
+
+// FaultStats is one run's fault accounting: what the injector did, how the
+// link accounted for every frame, and what the protocols spent recovering.
+type FaultStats struct {
+	// Injected tallies the injector's actions (zero without a plan).
+	Injected faults.Counters
+	// Link totals; LinkDelivered + LinkDropped == LinkFrames +
+	// LinkDuplicated always holds (checked after every run).
+	LinkFrames, LinkDelivered, LinkDropped, LinkDuplicated int
+	// Recovery work: retransmissions (TCP, or CHAN/BLAST resends for the
+	// RPC stack), connections aborted (or BLAST reassemblies abandoned),
+	// and checksum rejections observed by the protocols.
+	Retransmits, Aborts, ChecksumErrs int
+}
+
+// Add accumulates another run's stats.
+func (f *FaultStats) Add(o FaultStats) {
+	f.Injected.Add(o.Injected)
+	f.LinkFrames += o.LinkFrames
+	f.LinkDelivered += o.LinkDelivered
+	f.LinkDropped += o.LinkDropped
+	f.LinkDuplicated += o.LinkDuplicated
+	f.Retransmits += o.Retransmits
+	f.Aborts += o.Aborts
+	f.ChecksumErrs += o.ChecksumErrs
 }
 
 // Result aggregates an experiment's samples.
@@ -115,6 +175,15 @@ func (r *Result) MCPIMean() float64 {
 		s += x.MCPI
 	}
 	return s / float64(len(r.Samples))
+}
+
+// FaultTotals sums fault accounting over all samples.
+func (r *Result) FaultTotals() FaultStats {
+	var f FaultStats
+	for _, s := range r.Samples {
+		f.Add(s.Faults)
+	}
+	return f
 }
 
 // ICPIMean averages iCPI over samples.
@@ -204,6 +273,8 @@ func staticPathInstrs(cfg Config) int {
 // hostPair bundles one run's simulation objects.
 type hostPair struct {
 	q              *xkernel.EventQueue
+	link           *netsim.Link
+	injector       *faults.Injector // nil without an active fault plan
 	clientHost     *xkernel.Host
 	serverHost     *xkernel.Host
 	clientProg     *code.Program
@@ -212,6 +283,7 @@ type hostPair struct {
 	startFn        func()
 	classifierMiss func() int
 	onRoundtrip    func(func(int))
+	faultStats     func() FaultStats
 }
 
 // buildPair constructs the two hosts for a run.
@@ -242,7 +314,23 @@ func buildPair(cfg Config, sampleIdx, roundtrips int) (*hostPair, error) {
 	ch := mkHost("client", clientProg, uint64(sampleIdx)*17)
 	sh := mkHost("server", serverProg, uint64(sampleIdx)*31+7)
 
-	hp := &hostPair{q: q, clientHost: ch, serverHost: sh, clientProg: clientProg}
+	hp := &hostPair{q: q, link: link, clientHost: ch, serverHost: sh, clientProg: clientProg}
+	if cfg.Faults != nil && cfg.Faults.Active() {
+		hp.injector = faults.New(cfg.Faults.ForSample(sampleIdx))
+		hp.injector.Attach(link)
+	}
+	linkStats := func() FaultStats {
+		fs := FaultStats{
+			LinkFrames:     link.Frames,
+			LinkDelivered:  link.Delivered,
+			LinkDropped:    link.Dropped,
+			LinkDuplicated: link.Duplicated,
+		}
+		if hp.injector != nil {
+			fs.Injected = hp.injector.Counters
+		}
+		return fs
+	}
 
 	switch cfg.Stack {
 	case StackRPC:
@@ -259,6 +347,13 @@ func buildPair(cfg Config, sampleIdx, roundtrips int) (*hostPair, error) {
 		hp.classifierMiss = func() int { return client.Dev.ClassifierMisses }
 		client.Test.OnRoundtrip = nil // installed by runSample
 		hp.onRoundtrip = func(f func(int)) { client.Test.OnRoundtrip = f }
+		hp.faultStats = func() FaultStats {
+			fs := linkStats()
+			fs.Retransmits = client.Chan.Retransmits + server.Chan.Retransmits +
+				client.Blast.NackResends + server.Blast.NackResends
+			fs.Aborts = client.Blast.Abandoned + server.Blast.Abandoned
+			return fs
+		}
 
 	default:
 		client := tcpip.Build(ch, link, wire.MACAddr{8, 0, 0x2b, 1, 1, 1}, 0xc0a80001, cfg.Feat, false, roundtrips)
@@ -274,8 +369,73 @@ func buildPair(cfg Config, sampleIdx, roundtrips int) (*hostPair, error) {
 		hp.startFn = func() { client.StartClient(server) }
 		hp.classifierMiss = func() int { return client.Dev.ClassifierMisses }
 		hp.onRoundtrip = func(f func(int)) { client.Test.OnRoundtrip = f }
+		hp.faultStats = func() FaultStats {
+			fs := linkStats()
+			fs.Retransmits = client.TCP.Retransmits + server.TCP.Retransmits
+			fs.Aborts = client.TCP.Aborts + server.TCP.Aborts
+			fs.ChecksumErrs = client.TCP.ChecksumErrs + server.TCP.ChecksumErrs +
+				client.IP.ChecksumErrs + server.IP.ChecksumErrs
+			return fs
+		}
 	}
 	return hp, nil
+}
+
+// finishRun drains the event queue under the watchdog budget and verifies
+// the post-run simulation invariants shared by every experiment driver:
+// the budget was not exhausted, the client completed its roundtrips, the
+// queue drained, roundtrip timestamps are monotonic, and every link frame
+// is accounted for as delivered, dropped or duplicated — reconciling
+// exactly with the fault injector when one is attached.
+func (hp *hostPair) finishRun(cfg Config, sampleIdx, roundtrips int) error {
+	budget := cfg.eventBudget()
+	steps := hp.q.Run(budget)
+	if steps == budget && hp.q.Pending() {
+		return &BudgetError{Sample: sampleIdx, Budget: budget,
+			Completed: hp.completedFn(), Want: roundtrips}
+	}
+	if done := hp.completedFn(); done < roundtrips {
+		return fmt.Errorf("run stalled at %d/%d roundtrips", done, roundtrips)
+	}
+	if hp.q.Pending() {
+		return &InvariantError{Sample: sampleIdx, Check: "queue drained",
+			Detail: "events remain after the run completed"}
+	}
+	stamps := hp.stampFn()
+	for i := 1; i < len(stamps); i++ {
+		if stamps[i] < stamps[i-1] {
+			return &InvariantError{Sample: sampleIdx, Check: "monotonic time",
+				Detail: fmt.Sprintf("roundtrip %d stamped %d after %d", i+1, stamps[i], stamps[i-1])}
+		}
+	}
+	l := hp.link
+	if !l.Accounted() {
+		return &InvariantError{Sample: sampleIdx, Check: "frame accounting",
+			Detail: fmt.Sprintf("delivered %d + dropped %d != frames %d + duplicated %d",
+				l.Delivered, l.Dropped, l.Frames, l.Duplicated)}
+	}
+	if in := hp.injector; in != nil {
+		if in.Counters.Frames != l.Frames || in.Counters.Dropped != l.Dropped ||
+			in.Counters.Duplicated != l.Duplicated {
+			return &InvariantError{Sample: sampleIdx, Check: "injector reconciliation",
+				Detail: fmt.Sprintf("injector %v vs %v", in.Counters, l)}
+		}
+	}
+	return nil
+}
+
+// recoverSample converts a panicking simulation into a structured error
+// carrying the failing sample's fault seed. Use in a defer around a
+// sample-running function's named error return.
+func recoverSample(cfg Config, sampleIdx int, err *error) {
+	if r := recover(); r != nil {
+		*err = &SimPanicError{
+			Sample: sampleIdx,
+			Seed:   cfg.faultSeed(sampleIdx),
+			Value:  r,
+			Stack:  debug.Stack(),
+		}
+	}
 }
 
 // addrBitset tracks distinct addresses over the program's text range at a
@@ -309,7 +469,8 @@ func (s *addrBitset) add(addr uint64) {
 }
 
 // runSample performs one measured run.
-func runSample(cfg Config, sampleIdx int) (Sample, error) {
+func runSample(cfg Config, sampleIdx int) (s Sample, err error) {
+	defer recoverSample(cfg, sampleIdx, &err)
 	roundtrips := cfg.Warmup + cfg.Measured
 	hp, err := buildPair(cfg, sampleIdx, roundtrips)
 	if err != nil {
@@ -350,9 +511,8 @@ func runSample(cfg Config, sampleIdx int) (Sample, error) {
 	})
 
 	hp.startFn()
-	hp.q.Run(1_000_000)
-	if hp.completedFn() < roundtrips {
-		return Sample{}, fmt.Errorf("run stalled at %d/%d roundtrips", hp.completedFn(), roundtrips)
+	if err := hp.finishRun(cfg, sampleIdx, roundtrips); err != nil {
+		return Sample{}, err
 	}
 
 	stamps := hp.stampFn()
@@ -380,5 +540,6 @@ func runSample(cfg Config, sampleIdx int) (Sample, error) {
 		BCache:           bStats,
 		UnusedICacheFrac: unused,
 		ClassifierMisses: hp.classifierMiss(),
+		Faults:           hp.faultStats(),
 	}, nil
 }

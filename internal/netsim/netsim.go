@@ -37,6 +37,18 @@ func WireTimeCycles(n int) uint64 {
 	return uint64(n+fcsBytes+wire.PreambleBytes) * WireCyclesPerByte
 }
 
+// Fault is the fate the fault layer assigns one frame in transit. The zero
+// value is a clean delivery.
+type Fault struct {
+	// Drop loses the frame: no delivery event is ever scheduled.
+	Drop bool
+	// ExtraDelay postpones delivery (reordering, jitter) without moving
+	// the sender's transmit-complete interrupt.
+	ExtraDelay uint64
+	// Duplicate delivers a second copy one wire time after the first.
+	Duplicate bool
+}
+
 // Link is a point-to-point Ethernet segment. Both attached devices transmit
 // through it; delivery happens on the shared event queue after controller
 // overhead plus wire time.
@@ -47,9 +59,19 @@ type Link struct {
 	// the frame in transit (fault injection for retransmission tests).
 	Drop func(frame []byte) bool
 
-	// Frames and Dropped count transmissions and injected losses.
-	Frames  int
-	Dropped int
+	// Inject, when non-nil, decides each frame's fate. It receives the
+	// private in-flight copy and may mutate it (payload corruption); the
+	// returned Fault is applied on top of the legacy Drop hook.
+	Inject func(frame []byte) Fault
+
+	// Frames counts transmissions; Dropped injected losses; Delivered
+	// scheduled deliveries (including duplicates); Duplicated injected
+	// duplicates. Every frame is accounted for:
+	// Delivered + Dropped == Frames + Duplicated.
+	Frames     int
+	Dropped    int
+	Delivered  int
+	Duplicated int
 }
 
 // NewLink builds a link on the given queue.
@@ -61,21 +83,50 @@ func NewLink(q *xkernel.EventQueue) *Link {
 // controller starts (the sender's processing time already consumed in the
 // current event). deliver runs at the receiver when the frame (a private
 // copy) arrives; txDone runs at the sender at the transmit-complete
-// interrupt, at essentially the same time.
+// interrupt.
+//
+// The two callbacks are timed independently: txDone fires when the frame
+// leaves the sender's controller whether or not it then survives the wire
+// (the LANCE cannot see a collision-free frame get lost downstream), while
+// delivery is subject to the fault layer — a dropped frame schedules no
+// delivery at all, and a delayed one moves only the receive side.
 func (l *Link) Transmit(frame []byte, extraDelay uint64, deliver func(frame []byte), txDone func()) {
 	l.Frames++
-	latency := extraDelay + ControllerOverheadCycles + WireTimeCycles(len(frame))
+	txLatency := extraDelay + ControllerOverheadCycles + WireTimeCycles(len(frame))
 	cp := append([]byte(nil), frame...)
 	if txDone != nil {
-		l.Queue.Schedule(latency, txDone)
+		l.Queue.Schedule(txLatency, txDone)
+	}
+	var f Fault
+	if l.Inject != nil {
+		f = l.Inject(cp)
 	}
 	if l.Drop != nil && l.Drop(cp) {
+		f.Drop = true
+	}
+	if f.Drop {
 		l.Dropped++
 		return
 	}
-	l.Queue.Schedule(latency, func() { deliver(cp) })
+	deliverAt := txLatency + f.ExtraDelay
+	l.Delivered++
+	l.Queue.Schedule(deliverAt, func() { deliver(cp) })
+	if f.Duplicate {
+		l.Duplicated++
+		l.Delivered++
+		dup := append([]byte(nil), cp...)
+		l.Queue.Schedule(deliverAt+WireTimeCycles(len(frame)), func() { deliver(dup) })
+	}
+}
+
+// Accounted reports whether every transmitted frame is accounted for as
+// delivered, dropped, or duplicated — the simulation invariant the
+// experiment harness checks after each run.
+func (l *Link) Accounted() bool {
+	return l.Delivered+l.Dropped == l.Frames+l.Duplicated
 }
 
 func (l *Link) String() string {
-	return fmt.Sprintf("link{frames=%d dropped=%d}", l.Frames, l.Dropped)
+	return fmt.Sprintf("link{frames=%d delivered=%d dropped=%d duplicated=%d}",
+		l.Frames, l.Delivered, l.Dropped, l.Duplicated)
 }

@@ -94,3 +94,97 @@ func TestDropInjection(t *testing.T) {
 		t.Fatalf("stats: %v", l)
 	}
 }
+
+func TestDroppedFrameSchedulesNoDelivery(t *testing.T) {
+	q := xkernel.NewEventQueue()
+	l := NewLink(q)
+	l.Inject = func([]byte) Fault { return Fault{Drop: true} }
+	delivered := false
+	txDoneAt := uint64(0)
+	l.Transmit(make([]byte, 60), 0, func([]byte) { delivered = true }, func() { txDoneAt = q.Now() })
+	steps := q.Run(10)
+	if delivered {
+		t.Fatal("dropped frame was delivered")
+	}
+	// The only event is the sender's tx-done: it fires at the full
+	// transmit latency (the sender cannot see the downstream loss), and
+	// nothing else remains queued.
+	want := uint64(ControllerOverheadCycles) + WireTimeCycles(60)
+	if txDoneAt != want {
+		t.Fatalf("tx-done at %d, want %d", txDoneAt, want)
+	}
+	if steps != 1 || q.Pending() {
+		t.Fatalf("queue ran %d events (want 1) with work still pending", steps)
+	}
+	if l.Dropped != 1 || l.Delivered != 0 || !l.Accounted() {
+		t.Fatalf("stats: %v", l)
+	}
+}
+
+func TestDuplicateDeliversTwiceAndAccounts(t *testing.T) {
+	q := xkernel.NewEventQueue()
+	l := NewLink(q)
+	l.Inject = func([]byte) Fault { return Fault{Duplicate: true} }
+	var times []uint64
+	l.Transmit(make([]byte, 60), 0, func([]byte) { times = append(times, q.Now()) }, nil)
+	q.Run(10)
+	if len(times) != 2 {
+		t.Fatalf("duplicate delivered %d times, want 2", len(times))
+	}
+	base := uint64(ControllerOverheadCycles) + WireTimeCycles(60)
+	if times[0] != base || times[1] != base+WireTimeCycles(60) {
+		t.Fatalf("delivery times %v, want [%d %d]", times, base, base+WireTimeCycles(60))
+	}
+	if l.Frames != 1 || l.Delivered != 2 || l.Duplicated != 1 || !l.Accounted() {
+		t.Fatalf("stats: %v", l)
+	}
+}
+
+func TestInjectCorruptsPrivateCopyOnly(t *testing.T) {
+	q := xkernel.NewEventQueue()
+	l := NewLink(q)
+	l.Inject = func(f []byte) Fault {
+		f[0] ^= 0xff // corrupt in place, like the fault injector does
+		return Fault{}
+	}
+	sent := make([]byte, 60)
+	var got byte
+	l.Transmit(sent, 0, func(f []byte) { got = f[0] }, nil)
+	q.Run(10)
+	if got != 0xff {
+		t.Fatalf("receiver saw %#x, want corrupted 0xff", got)
+	}
+	if sent[0] != 0 {
+		t.Fatal("corruption leaked into the sender's buffer")
+	}
+}
+
+func TestInjectExtraDelayShiftsDeliveryNotTxDone(t *testing.T) {
+	q := xkernel.NewEventQueue()
+	l := NewLink(q)
+	l.Inject = func([]byte) Fault { return Fault{ExtraDelay: 5000} }
+	var deliveredAt, txDoneAt uint64
+	l.Transmit(make([]byte, 60), 0, func([]byte) { deliveredAt = q.Now() }, func() { txDoneAt = q.Now() })
+	q.Run(10)
+	base := uint64(ControllerOverheadCycles) + WireTimeCycles(60)
+	if txDoneAt != base {
+		t.Fatalf("tx-done at %d, want %d (unaffected by in-flight delay)", txDoneAt, base)
+	}
+	if deliveredAt != base+5000 {
+		t.Fatalf("delivered at %d, want %d", deliveredAt, base+5000)
+	}
+}
+
+func TestAccountedDetectsImbalance(t *testing.T) {
+	q := xkernel.NewEventQueue()
+	l := NewLink(q)
+	l.Transmit(make([]byte, 60), 0, func([]byte) {}, nil)
+	q.Run(10)
+	if !l.Accounted() {
+		t.Fatalf("clean link must account: %v", l)
+	}
+	l.Delivered++ // simulate a bookkeeping bug
+	if l.Accounted() {
+		t.Fatal("Accounted missed a delivered/frames imbalance")
+	}
+}

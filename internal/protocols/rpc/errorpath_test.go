@@ -1,0 +1,174 @@
+package rpc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/protocols/features"
+	"repro/internal/protocols/wire"
+	"repro/internal/xkernel"
+)
+
+// blastFrame builds one raw BLAST pdu.
+func blastFrame(h wire.BlastHeader, payload []byte) []byte {
+	return append(h.Marshal(), payload...)
+}
+
+// deliverBlast injects a raw pdu into a stack's BLAST layer as if it had
+// arrived off the wire.
+func deliverBlast(s *Stack, pdu []byte) error {
+	m := xkernel.NewMsgData(s.Host.Alloc, pdu)
+	return s.Blast.Demux(m)
+}
+
+func TestBlastRejectsUnknownProtocol(t *testing.T) {
+	_, server, _ := newPair(t, features.Improved(), false, 1)
+	pdu := blastFrame(wire.BlastHeader{MsgID: 1, NumFrags: 1, Len: 0, Proto: 777}, nil)
+	err := deliverBlast(server, pdu)
+	if err == nil || !strings.Contains(err.Error(), "no protocol") {
+		t.Fatalf("unknown protocol: err = %v, want no-protocol error", err)
+	}
+}
+
+func TestBlastRejectsNackForUnretainedMessage(t *testing.T) {
+	_, server, _ := newPair(t, features.Improved(), false, 1)
+	// A NACK for a message the server never sent (e.g. corrupted MsgID).
+	pdu := blastFrame(wire.BlastHeader{MsgID: 999, NumFrags: 1, Len: 2, Proto: 0xffff},
+		[]byte{0, 0})
+	err := deliverBlast(server, pdu)
+	if err == nil || !strings.Contains(err.Error(), "unretained") {
+		t.Fatalf("orphan NACK: err = %v, want unretained error", err)
+	}
+	if server.Blast.NackResends != 0 {
+		t.Fatal("orphan NACK triggered a resend")
+	}
+}
+
+func TestBlastNackCapAbandonsReassembly(t *testing.T) {
+	_, server, q := newPair(t, features.Improved(), false, 1)
+	// A fragment announcing siblings that will never arrive — the shape a
+	// corrupted NumFrags field produces. The server NACKs into the void
+	// (the peer retains nothing), so the cap must eventually fire.
+	server.Dev.Link.Drop = func([]byte) bool { return true } // NACKs vanish
+	pdu := blastFrame(wire.BlastHeader{MsgID: 5, FragIdx: 0, NumFrags: 3, Len: 4, Proto: bidProto},
+		[]byte{1, 2, 3, 4})
+	if err := deliverBlast(server, pdu); err != nil {
+		t.Fatalf("first fragment: %v", err)
+	}
+	if len(server.Blast.reasm) != 1 {
+		t.Fatal("reassembly not started")
+	}
+	q.Run(1000)
+	if server.Blast.Abandoned != 1 {
+		t.Fatalf("Abandoned = %d, want 1", server.Blast.Abandoned)
+	}
+	if server.Blast.Nacks != blastMaxNacks {
+		t.Fatalf("Nacks = %d, want exactly the cap %d", server.Blast.Nacks, blastMaxNacks)
+	}
+	if len(server.Blast.reasm) != 0 {
+		t.Fatal("abandoned reassembly still held")
+	}
+	if q.Pending() {
+		t.Fatal("NACK timer still armed after abandonment")
+	}
+}
+
+func TestChanIgnoresCorruptSequenceJump(t *testing.T) {
+	client, server, q := newPair(t, features.Improved(), false, 3)
+	runRPC(t, client, q, 20000)
+	ch := server.Chan.Channel(1)
+	last := ch.lastSeqSeen
+	if last == 0 {
+		t.Fatal("no traffic recorded on channel 1")
+	}
+	// A request whose sequence number jumped far ahead — the shape a
+	// corrupted header produces. Accepting it would poison lastSeqSeen and
+	// wedge the channel against every genuine retransmission.
+	h := wire.ChanHeader{ChanID: 1, Seq: last + 100, Kind: wire.ChanRequest}
+	dups := server.Chan.DupRequests
+	server.Host.BeginEvent(nil)
+	m := xkernel.NewMsgData(server.Host.Alloc, append(h.Marshal(), 0, 0, 0, 0))
+	if err := server.Chan.Demux(m); err != nil {
+		t.Fatalf("wild request returned error %v, want silent drop", err)
+	}
+	if ch.lastSeqSeen != last {
+		t.Fatalf("lastSeqSeen moved %d -> %d on a wild sequence", last, ch.lastSeqSeen)
+	}
+	if server.Chan.DupRequests != dups+1 {
+		t.Fatal("wild request not counted")
+	}
+}
+
+func TestChanRollsBackSequenceOnUpperError(t *testing.T) {
+	client, server, q := newPair(t, features.Improved(), false, 3)
+	runRPC(t, client, q, 20000)
+	ch := server.Chan.Channel(1)
+	last := ch.lastSeqSeen
+	// The next in-sequence request, but addressed to a service that does
+	// not exist (a corrupted selector). MSELECT errors; CHAN must roll the
+	// sequence back so the client's retransmission is processed fresh
+	// instead of hitting the stale cached reply.
+	ch2 := wire.ChanHeader{ChanID: 1, Seq: last + 1, Kind: wire.ChanRequest}
+	vh := wire.VchanHeader{VchanID: 1}
+	mh := wire.MselectHeader{Selector: 404}
+	pdu := append(append(ch2.Marshal(), vh.Marshal()...), mh.Marshal()...)
+	server.Host.BeginEvent(nil)
+	m := xkernel.NewMsgData(server.Host.Alloc, pdu)
+	err := server.Chan.Demux(m)
+	if err == nil || !strings.Contains(err.Error(), "no service") {
+		t.Fatalf("bad selector: err = %v, want no-service error", err)
+	}
+	if ch.lastSeqSeen != last {
+		t.Fatalf("lastSeqSeen advanced to %d despite the failed request (want %d)",
+			ch.lastSeqSeen, last)
+	}
+}
+
+func TestBidRepairsCorruptedDestinationBootID(t *testing.T) {
+	client, server, q := newPair(t, features.Improved(), false, 3)
+	runRPC(t, client, q, 20000)
+	// Poison the client's view of the server's boot id, as a corrupted
+	// reply would after adoption. Every request the client now sends
+	// carries a wrong DstBootID; if the server dropped them, nothing would
+	// ever flow back to heal the client, and the pair would wedge.
+	client.Bid.peerBoot = 0xdead
+	client.Host.BeginEvent(nil)
+	var reply bool
+	if err := client.Mselect.Call(echoSelector, nil, func([]byte) { reply = true }); err != nil {
+		t.Fatal(err)
+	}
+	q.Run(50000)
+	if !reply {
+		t.Fatal("call through a poisoned boot id never completed")
+	}
+	if server.Bid.DstRepairs == 0 {
+		t.Fatal("server did not take the dst-repair path")
+	}
+	if client.Bid.peerBoot != server.Bid.LocalBoot {
+		t.Fatalf("client peerBoot = %#x not healed to %#x",
+			client.Bid.peerBoot, server.Bid.LocalBoot)
+	}
+}
+
+func TestBidAdoptsNewSourceBootID(t *testing.T) {
+	client, server, q := newPair(t, features.Improved(), false, 3)
+	runRPC(t, client, q, 20000)
+	// A frame with a corrupted SrcBootID must be rejected, but the layer
+	// adopts the new id so a genuine reboot (or the next genuine frame,
+	// after corruption) re-synchronizes instead of wedging.
+	oldPeer := server.Bid.peerBoot
+	client.Bid.LocalBoot = 0x7777
+	client.Host.BeginEvent(nil)
+	m := xkernel.NewMsgData(client.Host.Alloc, []byte{9, 9, 9})
+	if err := client.Bid.Push(m); err != nil {
+		t.Fatal(err)
+	}
+	q.Run(100)
+	if server.Bid.peerBoot != 0x7777 {
+		t.Fatalf("server peerBoot = %#x, want adopted 0x7777 (was %#x)",
+			server.Bid.peerBoot, oldPeer)
+	}
+	if server.Bid.StaleDrops == 0 {
+		t.Fatal("changed boot id not counted as a stale drop")
+	}
+}

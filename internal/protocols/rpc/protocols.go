@@ -36,8 +36,8 @@ type Blast struct {
 	// NackTimeoutCycles arms the hole-detection timer.
 	NackTimeoutCycles uint64
 
-	// Stats.
-	FragsOut, FragsIn, Nacks, NackResends, SingleFrag int
+	// Stats. Abandoned counts reassemblies given up after the NACK cap.
+	FragsOut, FragsIn, Nacks, NackResends, SingleFrag, Abandoned int
 }
 
 type blastReasm struct {
@@ -45,7 +45,14 @@ type blastReasm struct {
 	total uint16
 	proto uint16
 	timer *xkernel.TimerEvent
+	nacks int // NACKs sent for this message so far
 }
+
+// blastMaxNacks bounds NACK retries per message: a corrupted header can
+// announce fragments that will never exist, and without a cap the NACK
+// timer would re-arm forever. Past the cap the partial message is abandoned
+// (the request/reply layer above recovers by retransmitting).
+const blastMaxNacks = 8
 
 // blastMaxFrag is the largest fragment payload.
 const blastMaxFrag = wire.EthMTU - wire.BlastHeaderLen
@@ -183,12 +190,19 @@ func (b *Blast) deliver(proto uint16, m *xkernel.Msg) error {
 	return up.Demux(m)
 }
 
-// sendNack asks the sender to resend the fragments still missing.
+// sendNack asks the sender to resend the fragments still missing, giving
+// up on the message entirely once the NACK cap is reached.
 func (b *Blast) sendNack(msgID uint32) {
 	r := b.reasm[msgID]
 	if r == nil {
 		return
 	}
+	if r.nacks >= blastMaxNacks {
+		b.Abandoned++
+		delete(b.reasm, msgID)
+		return
+	}
+	r.nacks++
 	b.Nacks++
 	b.H.BeginEvent(nil)
 	var missing []byte
@@ -238,8 +252,10 @@ type Bid struct {
 	LocalBoot uint32
 	peerBoot  uint32 // learned from traffic; 0 = unknown
 
-	// StaleDrops counts messages rejected for a boot-id mismatch.
-	StaleDrops int
+	// StaleDrops counts messages rejected for a boot-id mismatch;
+	// DstRepairs counts messages accepted despite a damaged destination
+	// boot id because the source matched the known incarnation.
+	StaleDrops, DstRepairs int
 }
 
 // bidProto is BID's protocol id above BLAST.
@@ -276,13 +292,33 @@ func (b *Bid) Demux(m *xkernel.Msg) error {
 		return err
 	}
 	if h.DstBootID != 0 && h.DstBootID != b.LocalBoot {
-		// The peer believes it is talking to a previous incarnation.
-		b.StaleDrops++
-		return fmt.Errorf("bid: stale destination boot id %d", h.DstBootID)
+		if b.peerBoot != 0 && h.SrcBootID == b.peerBoot {
+			// The source is the incarnation we already know, so the bad
+			// destination id is frame damage (or the peer's corrupted
+			// view of us), not a reboot: had we actually rebooted, our
+			// peerBoot would have reset to 0. Accept the message — our
+			// reply's SrcBootID lets the peer's adoption logic repair
+			// its view. Dropping here instead would wedge the pair: the
+			// peer can only relearn our boot id from traffic it never
+			// receives.
+			b.DstRepairs++
+		} else {
+			// The peer believes it is talking to a previous incarnation.
+			b.StaleDrops++
+			return fmt.Errorf("bid: stale destination boot id %d", h.DstBootID)
+		}
 	}
 	if b.peerBoot != 0 && h.SrcBootID != b.peerBoot {
+		// The peer's incarnation changed: reject this message but adopt
+		// the new boot id, the Sprite behaviour on reboot detection. The
+		// adoption also makes the layer self-healing when a corrupted
+		// frame poisons peerBoot — the next genuine message restores it
+		// at the cost of one more drop, instead of wedging the channel
+		// forever.
 		b.StaleDrops++
-		return fmt.Errorf("bid: peer rebooted (boot id %d -> %d)", b.peerBoot, h.SrcBootID)
+		old := b.peerBoot
+		b.peerBoot = h.SrcBootID
+		return fmt.Errorf("bid: peer rebooted (boot id %d -> %d)", old, h.SrcBootID)
 	}
 	b.peerBoot = h.SrcBootID
 	return b.Up.Demux(m)
@@ -402,19 +438,35 @@ func (c *Chan) Demux(m *xkernel.Msg) error {
 	ch := c.Channel(h.ChanID)
 	switch h.Kind {
 	case wire.ChanRequest:
-		if h.Seq == ch.lastSeqSeen && ch.cachedReply != nil {
+		switch {
+		case h.Seq == ch.lastSeqSeen && ch.cachedReply != nil:
 			// Duplicate: replay the cached reply (at-most-once).
 			c.DupRequests++
 			return c.send(ch.cachedReply)
-		}
-		if h.Seq < ch.lastSeqSeen {
+		case h.Seq == ch.lastSeqSeen+1:
+			// In sequence: a channel carries one blocking call at a
+			// time, so genuine requests step the sequence number by
+			// exactly one. Accepting arbitrary forward jumps would
+			// let a corrupted header poison lastSeqSeen, after which
+			// every genuine retransmission reads as an ancient
+			// duplicate and the channel wedges.
+			ch.lastSeqSeen = h.Seq
+			m.NetSrc = h.ChanID // channel identity rides up for the reply
+			m.NetDst = h.Seq
+			if err := c.Up.Demux(m); err != nil {
+				// The request died above us before a reply was
+				// cached (e.g. a corrupted selector): roll the
+				// sequence back so the client's retransmission is
+				// processed fresh instead of replaying a stale
+				// cached reply forever.
+				ch.lastSeqSeen = h.Seq - 1
+				return err
+			}
+			return nil
+		default:
 			c.DupRequests++
-			return nil // ancient duplicate
+			return nil // ancient duplicate or corrupted sequence
 		}
-		ch.lastSeqSeen = h.Seq
-		m.NetSrc = h.ChanID // channel identity rides up for the reply
-		m.NetDst = h.Seq
-		return c.Up.Demux(m)
 
 	case wire.ChanReply:
 		if ch.pending == nil || h.Seq != ch.seq {

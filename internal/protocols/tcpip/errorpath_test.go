@@ -1,0 +1,148 @@
+package tcpip
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/protocols/features"
+	"repro/internal/protocols/wire"
+	"repro/internal/xkernel"
+)
+
+// tcpSegment builds a checksummed TCP segment addressed src→dst.
+func tcpSegment(t *testing.T, src, dst wire.IPAddr, h wire.TCPHeader, payload []byte) []byte {
+	t.Helper()
+	seg := append(h.Marshal(), payload...)
+	ck := wire.TCPChecksum(src, dst, seg)
+	binary.BigEndian.PutUint16(seg[16:18], ck)
+	if wire.TCPChecksum(src, dst, seg) != 0 {
+		t.Fatal("failed to build a valid segment")
+	}
+	return seg
+}
+
+// deliverTCP pushes a raw segment into the server's TCP layer the way IP
+// would.
+func deliverTCP(s *Stack, src, dst wire.IPAddr, seg []byte) error {
+	m := xkernel.NewMsgData(s.Host.Alloc, seg)
+	m.NetSrc, m.NetDst = uint32(src), uint32(dst)
+	return s.TCP.Demux(m)
+}
+
+func TestRuntSegmentRejected(t *testing.T) {
+	_, server, _ := newPair(t, features.Improved(), false, 1)
+	segsBefore := server.TCP.SegsIn
+	err := deliverTCP(server, clientIP, serverIP, []byte{1, 2, 3})
+	if err == nil || !strings.Contains(err.Error(), "runt") {
+		t.Fatalf("runt segment: err = %v, want runt error", err)
+	}
+	if server.TCP.SegsIn != segsBefore {
+		t.Fatal("runt segment counted as received")
+	}
+}
+
+func TestBadChecksumRejectedAndCounted(t *testing.T) {
+	_, server, _ := newPair(t, features.Improved(), false, 1)
+	seg := tcpSegment(t, clientIP, serverIP,
+		wire.TCPHeader{SrcPort: 4000, DstPort: 5000, Flags: wire.TCPFlagACK}, nil)
+	seg[5] ^= 0x10 // damage the sequence number; the checksum now fails
+	err := deliverTCP(server, clientIP, serverIP, seg)
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("bad checksum: err = %v, want checksum error", err)
+	}
+	if server.TCP.ChecksumErrs != 1 {
+		t.Fatalf("ChecksumErrs = %d, want 1", server.TCP.ChecksumErrs)
+	}
+	if server.TCP.SegsIn != 0 {
+		t.Fatal("checksum-failed segment counted as received")
+	}
+}
+
+func TestNoConnectionRejected(t *testing.T) {
+	_, server, _ := newPair(t, features.Improved(), false, 1)
+	// A non-SYN segment for a (port, addr) pair with no PCB.
+	seg := tcpSegment(t, clientIP, serverIP,
+		wire.TCPHeader{SrcPort: 4000, DstPort: 5999, Flags: wire.TCPFlagACK}, nil)
+	err := deliverTCP(server, clientIP, serverIP, seg)
+	if err == nil || !strings.Contains(err.Error(), "no connection") {
+		t.Fatalf("orphan segment: err = %v, want no-connection error", err)
+	}
+}
+
+func TestConnectionRefusedOnClosedPort(t *testing.T) {
+	_, server, _ := newPair(t, features.Improved(), false, 1)
+	opened := len(server.TCP.Connections())
+	seg := tcpSegment(t, clientIP, serverIP,
+		wire.TCPHeader{SrcPort: 4000, DstPort: 9, Flags: wire.TCPFlagSYN}, nil)
+	err := deliverTCP(server, clientIP, serverIP, seg)
+	if err == nil || !strings.Contains(err.Error(), "refused") {
+		t.Fatalf("SYN to closed port: err = %v, want connection-refused error", err)
+	}
+	if len(server.TCP.Connections()) != opened {
+		t.Fatal("refused SYN still created a connection")
+	}
+}
+
+func TestIPBadHeaderRejectedAndCounted(t *testing.T) {
+	_, server, _ := newPair(t, features.Improved(), false, 1)
+	h := wire.IPHeader{TotalLen: wire.IPHeaderLen, TTL: wire.IPDefaultTTL,
+		Proto: wire.IPProtoTCP, Src: clientIP, Dst: serverIP}
+	raw := h.Marshal()
+	raw[9] ^= 0xff // damage the protocol field; the header checksum fails
+	m := xkernel.NewMsgData(server.Host.Alloc, raw)
+	if err := server.IP.Demux(m); err == nil {
+		t.Fatal("corrupted IP header accepted")
+	}
+	if server.IP.ChecksumErrs != 1 {
+		t.Fatalf("IP ChecksumErrs = %d, want 1", server.IP.ChecksumErrs)
+	}
+}
+
+func TestRetransmitCapAbortsConnection(t *testing.T) {
+	client, server, q := newPair(t, features.Improved(), false, 5)
+	client.TCP.MaxRetransmits = 3
+	// A dead link: every frame is lost, so the client retransmits until
+	// the cap fires.
+	client.Dev.Link.Drop = func([]byte) bool { return true }
+	client.StartClient(server)
+	conns := client.TCP.Connections()
+	if len(conns) != 1 {
+		t.Fatalf("%d client connections after active open", len(conns))
+	}
+	c := conns[0]
+	aborted := false
+	c.OnAbort = func() { aborted = true }
+	q.Run(10000)
+	if client.TCP.Retransmits != 3 {
+		t.Fatalf("Retransmits = %d, want exactly the cap (3)", client.TCP.Retransmits)
+	}
+	if client.TCP.Aborts != 1 || !aborted {
+		t.Fatalf("Aborts = %d, OnAbort fired = %v; want 1 and true", client.TCP.Aborts, aborted)
+	}
+	if c.State != StateClosed {
+		t.Fatalf("state after abort = %v, want CLOSED", c.State)
+	}
+	if n := len(client.TCP.Connections()); n != 0 {
+		t.Fatalf("%d connections still bound after abort", n)
+	}
+	// The abort must leave the event queue quiet: no orphaned timer.
+	if q.Pending() {
+		t.Fatal("events still pending after abort (orphaned retransmission timer?)")
+	}
+}
+
+func TestNegativeMaxRetransmitsDisablesCap(t *testing.T) {
+	client, server, q := newPair(t, features.Improved(), false, 5)
+	client.TCP.MaxRetransmits = -1
+	client.Dev.Link.Drop = func([]byte) bool { return true }
+	client.StartClient(server)
+	q.Run(200)
+	if client.TCP.Aborts != 0 {
+		t.Fatal("cap disabled but connection aborted")
+	}
+	if client.TCP.Retransmits <= DefaultMaxRetransmits {
+		t.Fatalf("Retransmits = %d, want > default cap %d",
+			client.TCP.Retransmits, DefaultMaxRetransmits)
+	}
+}

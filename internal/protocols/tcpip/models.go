@@ -27,6 +27,7 @@ func Models(feat features.Set) []*code.Function {
 		tcpDemuxModel(feat),
 		tcpInputModel(feat),
 		tcpRetransmitModel(),
+		tcpAbortModel(),
 		ipPushModel(feat),
 		ipDemuxModel(feat),
 		vnetPushModel(),
@@ -250,6 +251,19 @@ func tcpRetransmitModel() *code.Function {
 	b.ALU(103).Load("tcp.tcb", 11).Store("tcp.tcb", 11)
 	b.Call("evt_schedule")
 	b.ALU(26).Call("ip_push")
+	b.Ret()
+	return b.MustBuild()
+}
+
+// tcpAbortModel is tcp_drop/tcp_close: the teardown charged when the
+// retransmission cap gives up on a connection — timer cancellation, PCB
+// scrubbing and unbinding. Never on the latency path; it exists so the
+// abort cost is modeled rather than free.
+func tcpAbortModel() *code.Function {
+	b := code.NewBuilder("tcp_abort", code.ClassPath).Frame(3)
+	b.ALU(96).Load("tcp.tcb", 9).Store("tcp.tcb", 14)
+	b.Call("evt_cancel")
+	b.ALU(41).Store("tcp.tcb", 4)
 	b.Ret()
 	return b.MustBuild()
 }

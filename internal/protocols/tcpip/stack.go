@@ -65,14 +65,79 @@ func cksumWords(n int) int {
 	return w
 }
 
+// frameVerdict predicts which receive-path branch the current inbound
+// frame will take, the way the functional code will decide it: which error
+// block fires (if any), and whether in-sequence data will be delivered.
+// The code-model engine runs the whole path model at event start, before
+// the functional demux executes, so the degraded paths that fault
+// injection provokes must be predicted from the raw frame.
+type frameVerdict struct {
+	ipBad  bool // IP header fails validation (version, checksum)
+	tcpBad bool // TCP checksum fails
+	dup    bool // out-of-sequence data: the duplicate/re-ack path
+}
+
+// clean reports the fault-free fast path.
+func (v frameVerdict) clean() bool { return !v.ipBad && !v.tcpBad && !v.dup }
+
+// classifyFrame inspects a raw Ethernet frame the way ip.Demux and
+// tcp.Demux will. It deliberately avoids the demux map (touching it would
+// perturb the one-entry-cache statistics the models depend on), reading
+// the expected sequence number from the test connection instead.
+func (s *Stack) classifyFrame(frame []byte) frameVerdict {
+	var v frameVerdict
+	if len(frame) < wire.EthHeaderLen+wire.IPHeaderLen {
+		v.ipBad = true
+		return v
+	}
+	ipRaw := frame[wire.EthHeaderLen:]
+	h, err := wire.UnmarshalIP(ipRaw[:wire.IPHeaderLen])
+	if err != nil {
+		v.ipBad = true
+		return v
+	}
+	segEnd := int(h.TotalLen)
+	if segEnd > len(ipRaw) {
+		segEnd = len(ipRaw)
+	}
+	if segEnd < wire.IPHeaderLen+wire.TCPHeaderLen {
+		v.tcpBad = true
+		return v
+	}
+	seg := ipRaw[wire.IPHeaderLen:segEnd]
+	if wire.TCPChecksum(h.Src, h.Dst, seg) != 0 {
+		v.tcpBad = true
+		return v
+	}
+	th, err := wire.UnmarshalTCP(seg)
+	if err != nil {
+		v.tcpBad = true
+		return v
+	}
+	if c := s.Test.Conn; c != nil && c.State == StateEstablished &&
+		len(seg) > wire.TCPHeaderLen && th.Seq != c.rcvNxt {
+		v.dup = true
+	}
+	return v
+}
+
 // bindConds registers the model conditions for the current event: branch
 // outcomes as closures over live protocol state, loop trip counts queued in
-// path-execution order.
+// path-execution order. For a clean frame the bindings are exactly the
+// steady-state ones; when fault injection corrupts or replays traffic the
+// frame verdict steers the model down the same degraded branch the
+// functional code takes, truncating the count queue where the model
+// returns early.
 func (s *Stack) bindConds(env *code.Binding) {
 	t := s.TCP
 	frame := s.Host.CurrentFrame
 	payload := len(s.Test.Payload)
 	segLen := wire.TCPHeaderLen + payload
+
+	var v frameVerdict
+	if frame != nil {
+		v = s.classifyFrame(frame)
+	}
 
 	// Data object addresses: connection state and the current segment.
 	env.Bind("tcp.tcb", s.tcbAddr())
@@ -94,22 +159,32 @@ func (s *Stack) bindConds(env *code.Binding) {
 	})
 	env.SetFunc("tcp.cache_miss", t.LastLookupMissed)
 	env.SetFunc("tcp.ack_advances", func() bool { return true })
-	env.SetFunc("tcp.seq_ok", func() bool { return true })
+	env.Set("ip.bad", v.ipBad)
+	env.Set("tcp.cksum_bad", v.tcpBad)
+	env.Set("tcp.seq_ok", !v.dup)
 	env.Set("tcp.sendable", true)
 	env.SetFunc("test.respond", s.Test.WillRespond)
 
 	// Loop trip counts, queued in path order. For an input event the
 	// path is: lance rx copy, IP in cksum, TCP in cksum, payload copy,
 	// [response: TCP out cksum, IP out cksum, lance tx copy, refresh].
+	// Degraded paths return early from the corresponding model block, so
+	// the queue is truncated at the same point: an IP-invalid frame
+	// never reaches the TCP checksum, a TCP-invalid one never copies
+	// payload, and a duplicate re-acks without delivering.
 	if frame != nil {
 		env.PushCount("bcopy.more", (len(frame)+7)/8) // lance_rx
 		env.PushCount("cksum.more", cksumWords(wire.IPHeaderLen))
-		env.PushCount("cksum.more", cksumWords(segLen+12))
-		env.PushCount("bcopy.more", (payload+7)/8) // deliver to app
-		if s.Test.WillRespond() || s.Test.IsServer {
+		if !v.ipBad {
 			env.PushCount("cksum.more", cksumWords(segLen+12))
-			env.PushCount("cksum.more", cksumWords(wire.IPHeaderLen))
-			env.PushCount("bcopy.more", (wire.EthMinFrame+7)/8) // lance_tx
+		}
+		if v.clean() {
+			env.PushCount("bcopy.more", (payload+7)/8) // deliver to app
+			if s.Test.WillRespond() || s.Test.IsServer {
+				env.PushCount("cksum.more", cksumWords(segLen+12))
+				env.PushCount("cksum.more", cksumWords(wire.IPHeaderLen))
+				env.PushCount("bcopy.more", (wire.EthMinFrame+7)/8) // lance_tx
+			}
 		}
 	} else {
 		// Send-only event.

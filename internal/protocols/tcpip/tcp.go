@@ -41,6 +41,10 @@ const (
 	initialRTO = 200_000 * netsim.CyclesPerMicrosecond
 	// defaultRcvWnd is the advertised receive window.
 	defaultRcvWnd = 16 * 1024
+	// DefaultMaxRetransmits caps consecutive retransmissions of one
+	// segment before the connection is aborted (BSD's TCP_MAXRXTSHIFT
+	// spirit, scaled to the simulation's short runs).
+	DefaultMaxRetransmits = 8
 )
 
 // App is the layer above TCP (the test protocol): it is notified when a
@@ -60,9 +64,15 @@ type TCP struct {
 	pcbs      *xkernel.Map
 	listeners map[uint16]App
 
+	// MaxRetransmits caps consecutive retransmissions of one segment;
+	// exceeding it aborts the connection (0 means DefaultMaxRetransmits,
+	// negative disables the cap).
+	MaxRetransmits int
+
 	// Counters for tests and CPU-utilization reporting.
 	SegsIn, SegsOut   int
 	Retransmits       int
+	Aborts            int
 	ChecksumErrs      int
 	DupSegs           int
 	PureAcks          int
@@ -123,6 +133,7 @@ type TCB struct {
 
 	retrans     *xkernel.TimerEvent
 	rto         uint64
+	retries     int // consecutive retransmissions of the unacked segment
 	unackedSeq  uint32
 	unackedData []byte
 	unackedFlag uint8
@@ -134,6 +145,10 @@ type TCB struct {
 	// (sndUna catches up with sndNxt) — the hook ack-clocked senders
 	// (the throughput test) drive their next segment from.
 	OnAcked func()
+
+	// OnAbort, when set, fires after the retransmission cap gives up on
+	// the connection (the TCB has already transitioned to CLOSED).
+	OnAbort func()
 
 	// VAddr is the control block's virtual address for d-cache modeling.
 	VAddr uint64
@@ -277,11 +292,17 @@ func (c *TCB) armRetransmit() {
 	c.retrans = t.H.Queue.Schedule(c.rto, func() { t.retransmit(c) })
 }
 
-// retransmit resends the unacknowledged segment with exponential backoff.
+// retransmit resends the unacknowledged segment with exponential backoff,
+// aborting the connection once the retry cap is exhausted.
 func (t *TCP) retransmit(c *TCB) {
 	if c.sndUna == c.sndNxt || c.unackedData == nil && c.unackedFlag == 0 {
 		return
 	}
+	if cap := t.maxRetransmits(); cap > 0 && c.retries >= cap {
+		t.Abort(c)
+		return
+	}
+	c.retries++
 	t.Retransmits++
 	t.H.BeginEvent(nil)
 	t.H.RunModel("tcp_retransmit")
@@ -294,6 +315,40 @@ func (t *TCP) retransmit(c *TCB) {
 	c.sendSegment(c.unackedFlag, c.unackedData, false)
 	c.sndNxt = saveNxt
 	c.armRetransmit()
+}
+
+func (t *TCP) maxRetransmits() int {
+	if t.MaxRetransmits == 0 {
+		return DefaultMaxRetransmits
+	}
+	if t.MaxRetransmits < 0 {
+		return 0 // cap disabled
+	}
+	return t.MaxRetransmits
+}
+
+// Abort gives up on a connection (the retransmission cap, or an explicit
+// reset): the timer is cancelled, pending data discarded, the TCB moved to
+// CLOSED and unbound from the demux map, and the teardown cost charged via
+// the tcp_abort model hook before the application is notified.
+func (t *TCP) Abort(c *TCB) {
+	if c.State == StateClosed {
+		return
+	}
+	t.Aborts++
+	t.H.BeginEvent(nil)
+	t.H.RunModel("tcp_abort")
+	if c.retrans != nil {
+		c.retrans.Cancel()
+		c.retrans = nil
+	}
+	c.unackedData = nil
+	c.unackedFlag = 0
+	c.State = StateClosed
+	t.pcbs.Unbind(pcbKey(c.LocalPort, c.RemotePort, c.RemoteAddr))
+	if c.OnAbort != nil {
+		c.OnAbort()
+	}
 }
 
 // Demux processes an inbound segment.
@@ -386,6 +441,7 @@ func (t *TCP) input(c *TCB, h *wire.TCPHeader, m *xkernel.Msg) error {
 			c.unackedData = nil
 			c.unackedFlag = 0
 			c.rto = initialRTO
+			c.retries = 0
 			if c.OnAcked != nil {
 				c.OnAcked()
 			}
@@ -412,6 +468,7 @@ func (t *TCP) input(c *TCB, h *wire.TCPHeader, m *xkernel.Msg) error {
 				c.retrans = nil
 			}
 			c.unackedData, c.unackedFlag = nil, 0
+			c.retries = 0
 			// Open the congestion window for the LAN case.
 			c.cwnd = max32(c.maxSndWnd, tcpMSS)
 			c.sendPureAck()

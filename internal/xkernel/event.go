@@ -112,11 +112,15 @@ func (q *EventQueue) RunUntil(t uint64) {
 }
 
 // Run executes events until none remain or the step budget is exhausted
-// (a safety valve against runaway protocol retransmission loops).
-func (q *EventQueue) Run(maxSteps int) {
+// (a safety valve against runaway protocol retransmission loops). It
+// returns the number of events executed; a return value equal to maxSteps
+// with events still pending means the budget ran out, which the experiment
+// watchdog converts into a structured error.
+func (q *EventQueue) Run(maxSteps int) int {
 	for i := 0; i < maxSteps; i++ {
 		if !q.RunNext() {
-			return
+			return i
 		}
 	}
+	return maxSteps
 }

@@ -26,7 +26,10 @@
 // re-exports the experiment-level API a downstream user drives.
 package repro
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/faults"
+)
 
 // Version is one of the paper's six measured configurations.
 type Version = core.Version
@@ -187,3 +190,39 @@ func MultiConnection(nConns, roundtrips int, perConnClones bool) (MultiConnResul
 func MultiConnectionTable(roundtrips int) (string, error) {
 	return core.MultiConnectionTable(roundtrips)
 }
+
+// FaultPlan is a deterministic per-link fault plan (loss, burst loss,
+// corruption, duplication, reordering, jitter); set Config.Faults to run
+// any experiment under it. FaultCounters tallies what an injector did.
+type (
+	FaultPlan     = faults.Plan
+	BurstPlan     = faults.BurstPlan
+	FaultCounters = faults.Counters
+)
+
+// FaultStats is one run's fault accounting, surfaced per sample in
+// Result.Samples and aggregated by Result.FaultTotals.
+type FaultStats = core.FaultStats
+
+// FaultStudyConfig and FaultCell parameterize and report the degraded-path
+// latency study.
+type (
+	FaultStudyConfig = core.FaultStudyConfig
+	FaultCell        = core.FaultCell
+)
+
+// DefaultFaultStudy returns the standard study shape: STD/OUT/CLO/PIN at
+// fault rates {0, 0.02, 0.05, 0.10}.
+func DefaultFaultStudy(kind StackKind, seed uint64) FaultStudyConfig {
+	return core.DefaultFaultStudy(kind, seed)
+}
+
+// FaultStudy runs every (version, rate) cell and returns the raw cells;
+// RunFaultStudy renders them as a table. Both are deterministic at any
+// parallelism for a fixed seed.
+func FaultStudy(cfg FaultStudyConfig) ([]FaultCell, error) { return core.FaultStudy(cfg) }
+
+// RunFaultStudy renders the fault-injection study: per layout strategy and
+// fault rate, mainline vs degraded-path roundtrip latency with reconciled
+// fault counters.
+func RunFaultStudy(cfg FaultStudyConfig) (string, error) { return core.RunFaultStudy(cfg) }

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 verification in one command: vet, build, and the full test suite
-# under the race detector (the parallel runner is on by default, so -race
-# exercises the worker pools).
+# Tier-1 verification in one command: vet, build, the full test suite under
+# the race detector (the parallel runner and the fault-injection paths are
+# both exercised), and the fixed-seed fault-study smoke test with its
+# golden-output diff.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
 go test -race ./...
+./scripts/fault_smoke.sh

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Fault-study smoke test: run the fixed-seed fault-injection study for both
+# stacks at -parallel 1 and -parallel 8 and require byte-identical output,
+# then diff against the checked-in golden report.
+#
+#   REGEN=1 ./scripts/fault_smoke.sh   # refresh testdata/fault_smoke.golden
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+golden=testdata/fault_smoke.golden
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+for stack in tcpip rpc; do
+    go run ./cmd/protolat -faults -seed 11 -stack "$stack" -parallel 1 \
+        >> "$tmp/p1.txt"
+    go run ./cmd/protolat -faults -seed 11 -stack "$stack" -parallel 8 \
+        >> "$tmp/p8.txt"
+done
+
+diff -u "$tmp/p1.txt" "$tmp/p8.txt" || {
+    echo "FAIL: fault study differs between -parallel 1 and -parallel 8" >&2
+    exit 1
+}
+
+if [[ "${REGEN:-0}" = "1" ]]; then
+    mkdir -p testdata
+    cp "$tmp/p1.txt" "$golden"
+    echo "regenerated $golden"
+    exit 0
+fi
+
+diff -u "$golden" "$tmp/p1.txt" || {
+    echo "FAIL: fault study drifted from $golden (REGEN=1 to accept)" >&2
+    exit 1
+}
+echo "fault smoke OK: deterministic across parallelism and matching golden"
