@@ -12,16 +12,22 @@
 //	protolat -parallel 8 -quality paper           # 8 workers; same output
 //	protolat -faults -seed 7                      # fault-injection study
 //	protolat -faults -rates 0,0.05 -stack rpc     # custom rates / RPC stack
+//	protolat -profile -top 8                      # per-function mCPI attribution
+//	protolat -table 7 -json out.json              # structured export + manifest
+//
+// See docs/CLI.md for the complete flag reference with worked examples.
 //
 // Samples and table cells are independent simulations, so they run on a
 // bounded worker pool (-parallel, default GOMAXPROCS). Results assemble in
-// index order and are bit-for-bit identical to a serial run.
+// index order and are bit-for-bit identical to a serial run; -json output
+// is likewise byte-identical at any -parallel width.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strings"
 
 	"repro"
@@ -42,6 +48,9 @@ func main() {
 		faultrun = flag.Bool("faults", false, "run the fault-injection study (degraded-path latency per layout strategy)")
 		seed     = flag.Uint64("seed", 1, "fault-plan seed for -faults; same seed = byte-identical report at any -parallel")
 		rates    = flag.String("rates", "", "comma-separated fault rates for -faults (default 0,0.02,0.05,0.10)")
+		profile  = flag.Bool("profile", false, "per-function mCPI attribution and i-cache conflict heatmap per version")
+		top      = flag.Int("top", 10, "functions listed per version in -profile output")
+		jsonPath = flag.String("json", "", "also write the run as a structured JSON document (manifest + data) to this path")
 		parallel = flag.Int("parallel", 0, "worker pool for samples and table cells (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 	)
 	flag.Parse()
@@ -51,12 +60,41 @@ func main() {
 	if *quality == "paper" {
 		q = repro.PaperQuality
 	}
+	kind := repro.StackTCPIP
+	if strings.EqualFold(*stack, "rpc") {
+		kind = repro.StackRPC
+	}
 
-	if *faultrun {
-		kind := repro.StackTCPIP
-		if strings.EqualFold(*stack, "rpc") {
-			kind = repro.StackRPC
+	// export writes the structured document when -json was given. command
+	// is the semantic invocation recorded in the manifest: it excludes
+	// -parallel and -json themselves, which cannot change the output.
+	export := func(command string, docSeed uint64, fill func(*repro.Document) error) {
+		if *jsonPath == "" {
+			return
 		}
+		doc := repro.Document{Manifest: repro.NewManifest(command, docSeed, q)}
+		doc.Manifest.GitDescribe = gitDescribe()
+		check(fill(&doc))
+		b, err := doc.Marshal()
+		check(err)
+		check(os.WriteFile(*jsonPath, b, 0o644))
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+	}
+
+	switch {
+	case *profile:
+		text, results, err := repro.ProfileReport(kind, q, *top)
+		check(err)
+		fmt.Println(text)
+		export(fmt.Sprintf("protolat -profile -stack %s -top %d -quality %s", stackName(kind), *top, *quality), 0,
+			func(doc *repro.Document) error {
+				doc.Runs = repro.RunsDoc(results)
+				doc.Figures = append(doc.Figures, repro.Figure{
+					Name: "profile", Title: "Per-function mCPI attribution", Text: text})
+				return nil
+			})
+
+	case *faultrun:
 		cfg := repro.DefaultFaultStudy(kind, *seed)
 		if *quality != "paper" {
 			cfg.Quality = repro.Quality{Warmup: 3, Measured: 12, Samples: 1}
@@ -64,22 +102,27 @@ func main() {
 		if *rates != "" {
 			cfg.Rates = parseRates(*rates)
 		}
-		emit(repro.RunFaultStudy(cfg))
-		return
-	}
-	if *tput {
+		text, err := repro.RunFaultStudy(cfg)
+		check(err)
+		fmt.Println(text)
+		export(fmt.Sprintf("protolat -faults -stack %s -seed %d -rates %s -quality %s",
+			stackName(kind), *seed, *rates, *quality), *seed,
+			func(doc *repro.Document) error {
+				cells, err := repro.FaultStudy(cfg)
+				if err != nil {
+					return err
+				}
+				doc.FaultStudy = repro.FaultStudyDocOf(cfg, cells)
+				return nil
+			})
+
+	case *tput:
 		emit(repro.ThroughputTable(40, 1400))
-		return
-	}
-	if *mconn {
+
+	case *mconn:
 		emit(repro.MultiConnectionTable(32))
-		return
-	}
-	if *sens != "" {
-		kind := repro.StackTCPIP
-		if strings.EqualFold(*stack, "rpc") {
-			kind = repro.StackRPC
-		}
+
+	case *sens != "":
 		switch *sens {
 		case "machine":
 			emit(repro.Sensitivity(kind, repro.MachineSweep(), q))
@@ -88,51 +131,132 @@ func main() {
 		default:
 			emit(repro.Sensitivity(kind, repro.CacheSweep(), q))
 		}
-		return
-	}
-	if *stack != "" {
-		runOne(*stack, *version, *samples, *classify, q)
-		return
-	}
 
-	switch {
+	case *stack != "":
+		runOne(kind, *version, *samples, *classify, q, *jsonPath != "", export)
+
 	case *figure == 1:
-		emit(repro.Figure1())
+		text, err := repro.Figure1()
+		check(err)
+		fmt.Println(text)
+		export("protolat -figure 1", 0, func(doc *repro.Document) error {
+			doc.Figures = []repro.Figure{{Name: "figure1", Title: "Test Protocol Stacks", Text: text}}
+			return nil
+		})
+
 	case *figure == 2:
-		emit(repro.Figure2())
-	case *table == 1:
-		emit(repro.Table1(q))
-	case *table == 2:
-		emit(repro.Table2(q))
-	case *table == 3:
-		emit(repro.Table3(q))
+		text, err := repro.Figure2()
+		check(err)
+		fmt.Println(text)
+		export("protolat -figure 2", 0, func(doc *repro.Document) error {
+			doc.Figures = []repro.Figure{{Name: "figure2",
+				Title: "Effects of Outlining and Cloning on the i-cache footprint", Text: text}}
+			return nil
+		})
+
+	case *table >= 1 && *table <= 3:
+		var text string
+		var data repro.Table
+		var err error
+		switch *table {
+		case 1:
+			text, data, err = repro.Table1Full(q)
+		case 2:
+			text, data, err = repro.Table2Full(q)
+		case 3:
+			text, data, err = repro.Table3Full(q)
+		}
+		check(err)
+		fmt.Println(text)
+		export(fmt.Sprintf("protolat -table %d -quality %s", *table, *quality), 0,
+			func(doc *repro.Document) error {
+				doc.Tables = []repro.Table{data}
+				return nil
+			})
+
 	case *table >= 4 && *table <= 9:
-		tcpip, err := repro.RunVersions(repro.StackTCPIP, q)
+		// With -json the sweep runs profiled, so the document carries the
+		// per-function attribution behind the table's aggregates; the
+		// printed table is identical either way (a tested invariant).
+		tcpip, rpc, err := runSweeps(q, *jsonPath != "")
 		check(err)
-		rpc, err := repro.RunVersions(repro.StackRPC, q)
-		check(err)
+		var text string
+		var data []repro.Table
 		switch *table {
 		case 4, 5:
-			fmt.Println(repro.Table45(tcpip, rpc))
+			text, data = repro.Table45(tcpip, rpc), repro.Table45Data(tcpip, rpc)
 		case 6:
-			fmt.Println(repro.Table6(tcpip, rpc))
+			text, data = repro.Table6(tcpip, rpc), []repro.Table{repro.Table6Data(tcpip, rpc)}
 		case 7:
-			fmt.Println(repro.Table7(tcpip, rpc))
+			text, data = repro.Table7(tcpip, rpc), []repro.Table{repro.Table7Data(tcpip, rpc)}
 		case 8:
-			fmt.Println(repro.Table8(tcpip, rpc))
+			text, data = repro.Table8(tcpip, rpc), []repro.Table{repro.Table8Data(tcpip, rpc)}
 		case 9:
-			fmt.Println(repro.Table9(tcpip, rpc))
+			text, data = repro.Table9(tcpip, rpc), []repro.Table{repro.Table9Data(tcpip, rpc)}
 		}
+		fmt.Println(text)
+		export(fmt.Sprintf("protolat -table %d -quality %s", *table, *quality), 0,
+			func(doc *repro.Document) error {
+				doc.Tables = data
+				doc.Runs = append(repro.RunsDoc(tcpip), repro.RunsDoc(rpc)...)
+				return nil
+			})
+
 	default:
-		emit(repro.RenderAll(q))
+		text, err := repro.RenderAll(q)
+		check(err)
+		fmt.Println(text)
+		export(fmt.Sprintf("protolat -quality %s", *quality), 0,
+			func(doc *repro.Document) error {
+				tcpip, rpc, err := runSweeps(q, true)
+				if err != nil {
+					return err
+				}
+				doc.Tables = append(doc.Tables, repro.Table45Data(tcpip, rpc)...)
+				doc.Tables = append(doc.Tables,
+					repro.Table6Data(tcpip, rpc), repro.Table7Data(tcpip, rpc),
+					repro.Table8Data(tcpip, rpc), repro.Table9Data(tcpip, rpc))
+				doc.Runs = append(repro.RunsDoc(tcpip), repro.RunsDoc(rpc)...)
+				return nil
+			})
 	}
 }
 
-func runOne(stack, version string, samples int, classify bool, q repro.Quality) {
-	kind := repro.StackTCPIP
-	if strings.EqualFold(stack, "rpc") {
-		kind = repro.StackRPC
+// runSweeps runs both stacks' version sweeps, profiled when the document
+// export needs attribution data.
+func runSweeps(q repro.Quality, profiled bool) (tcpip, rpc map[repro.Version]*repro.Result, err error) {
+	run := repro.RunVersions
+	if profiled {
+		run = repro.RunVersionsProfiled
 	}
+	if tcpip, err = run(repro.StackTCPIP, q); err != nil {
+		return nil, nil, err
+	}
+	if rpc, err = run(repro.StackRPC, q); err != nil {
+		return nil, nil, err
+	}
+	return tcpip, rpc, nil
+}
+
+func stackName(kind repro.StackKind) string {
+	if kind == repro.StackRPC {
+		return "rpc"
+	}
+	return "tcpip"
+}
+
+// gitDescribe identifies the checkout for the manifest; empty (and omitted
+// from the document) when git or the repository is unavailable.
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func runOne(kind repro.StackKind, version string, samples int, classify bool, q repro.Quality,
+	profiled bool, export func(string, uint64, func(*repro.Document) error)) {
 	var ver repro.Version
 	found := false
 	for _, v := range repro.Versions() {
@@ -147,12 +271,20 @@ func runOne(stack, version string, samples int, classify bool, q repro.Quality) 
 	cfg := repro.DefaultConfig(kind, ver)
 	cfg.Warmup, cfg.Measured, cfg.Samples = q.Warmup, q.Measured, samples
 	cfg.UseClassifier = classify
+	cfg.Profile = profiled
 	res, err := repro.Run(cfg)
 	check(err)
 	s := res.First()
 	fmt.Printf("%v %v: Te %.1f +- %.2f us | Tp %.1f us | %0.f instrs | CPI %.2f (iCPI %.2f, mCPI %.2f)\n",
 		kind, ver, res.TeMeanUS, res.TeStdUS, s.TpUS, s.TraceLen, s.CPI, s.ICPI, s.MCPI)
 	fmt.Printf("  i-cache %v | d-cache/wb %v | b-cache %v\n", s.ICache, s.DCache, s.BCache)
+	fmt.Printf("  phases: wire %.1f us | controller %.1f us | processing %.1f us | timer wait %.1f us\n",
+		s.Phases.WireUS, s.Phases.ControllerUS, s.Phases.ProcessUS, s.Phases.TimerWaitUS)
+	export(fmt.Sprintf("protolat -stack %s -version %v -samples %d", stackName(kind), ver, samples), 0,
+		func(doc *repro.Document) error {
+			doc.Runs = []repro.RunExport{repro.RunDoc(res)}
+			return nil
+		})
 }
 
 func parseRates(s string) []float64 {

@@ -11,6 +11,21 @@ import (
 // most a dozen deep, so hitting this indicates a cycle in the call graph.
 const maxCallDepth = 64
 
+// AttrSink observes function boundaries during model execution. The engine
+// calls EnterFunc when it starts executing a function model and ExitFunc
+// when that model returns (or unwinds on an error), so a sink can attribute
+// the CPU and memory-system counters accumulated in between to the function
+// that was running. The hook fires once per call, not per instruction; with
+// a nil sink the engine's hot path pays only a pointer comparison.
+type AttrSink interface {
+	// EnterFunc is called immediately before the named function's first
+	// block executes.
+	EnterFunc(name string)
+	// ExitFunc is called after the named function's model has finished
+	// (epilogue and return jump included).
+	ExitFunc(name string)
+}
+
 // Engine executes code models against the CPU/memory simulator. One engine
 // serves one host; its Program must be fully placed (Link or FinishLayout)
 // before Run is called.
@@ -21,6 +36,11 @@ type Engine struct {
 	// experiment harness uses it for coverage analysis (Table 9) and for
 	// the trace files that micro-positioning consumes.
 	Observer func(cpu.Entry)
+	// Attr, when non-nil, is notified of every function entry and exit so
+	// the observability layer can attribute cycles and misses to the
+	// function executing them. Nil (the default) costs nothing on the
+	// per-instruction path and one nil check per function call.
+	Attr AttrSink
 }
 
 // NewEngine returns an engine executing prog on c.
@@ -95,6 +115,9 @@ func (e *Engine) call(name string, env Env, depth int) error {
 		return fmt.Errorf("code: function %q has no placement (program not linked)", name)
 	}
 
+	if e.Attr != nil {
+		e.Attr.EnterFunc(name)
+	}
 	pb := pl.entry
 	for {
 		addr := pb.addr
@@ -116,6 +139,9 @@ func (e *Engine) call(name string, env Env, depth int) error {
 			addr += instrBytes
 			if in.Call != "" && in.Op == arch.OpJump {
 				if err := e.call(in.Call, env, depth+1); err != nil {
+					if e.Attr != nil {
+						e.Attr.ExitFunc(name)
+					}
 					return err
 				}
 			}
@@ -134,6 +160,9 @@ func (e *Engine) call(name string, env Env, depth int) error {
 				addr += instrBytes
 			}
 			e.step(cpu.Entry{Addr: addr, Op: arch.OpJump, Taken: true})
+			if e.Attr != nil {
+				e.Attr.ExitFunc(name)
+			}
 			return nil
 
 		case TermJump:

@@ -462,6 +462,50 @@ func (p *Program) LayoutFingerprint() uint64 {
 	return h.Sum64()
 }
 
+// TextSpan describes one placed basic block of the linked image: its
+// address range, the function owning it, the function's bipartite-layout
+// class, and the block's outlining kind. The observability layer uses the
+// span list to resolve a faulting instruction address back to the function
+// and layout partition responsible for it.
+type TextSpan struct {
+	// Start and End bound the block: Start inclusive, End exclusive.
+	Start, End uint64
+	// Func is the owning function's name.
+	Func string
+	// Class is the owning function's bipartite classification.
+	Class Class
+	// Kind is the block's outlining kind (mainline vs cold code).
+	Kind BlockKind
+}
+
+// TextMap returns every placed block as a span, sorted by start address.
+// Zero-sized blocks (empty blocks whose terminator fell through) are
+// omitted. The program must be linked.
+func (p *Program) TextMap() []TextSpan {
+	var spans []TextSpan
+	for _, n := range p.order {
+		f, pl := p.funcs[n], p.placements[n]
+		if pl == nil {
+			continue
+		}
+		for _, b := range f.Blocks {
+			pb := pl.blocks[b.Label]
+			if pb == nil || pb.size == 0 {
+				continue
+			}
+			spans = append(spans, TextSpan{
+				Start: pb.addr,
+				End:   pb.addr + uint64(pb.size*instrBytes),
+				Func:  n,
+				Class: f.Class,
+				Kind:  b.Kind,
+			})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	return spans
+}
+
 // StaticInstrs sums the body instruction counts of all functions.
 func (p *Program) StaticInstrs() int {
 	n := 0

@@ -16,6 +16,7 @@ type SimPanicError struct {
 	Stack []byte
 }
 
+// Error implements the error interface.
 func (e *SimPanicError) Error() string {
 	return fmt.Sprintf("core: sample %d (fault seed %#x) panicked: %v", e.Sample, e.Seed, e.Value)
 }
@@ -30,6 +31,7 @@ type BudgetError struct {
 	Completed, Want int
 }
 
+// Error implements the error interface.
 func (e *BudgetError) Error() string {
 	return fmt.Sprintf("core: sample %d: event budget %d exhausted at %d/%d roundtrips (runaway event loop?)",
 		e.Sample, e.Budget, e.Completed, e.Want)
@@ -44,6 +46,7 @@ type InvariantError struct {
 	Detail string
 }
 
+// Error implements the error interface.
 func (e *InvariantError) Error() string {
 	return fmt.Sprintf("core: sample %d: invariant %q violated: %s", e.Sample, e.Check, e.Detail)
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/code"
 	"repro/internal/faults"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/protocols/features"
 	"repro/internal/protocols/rpc"
 	"repro/internal/protocols/tcpip"
@@ -44,6 +45,12 @@ type Config struct {
 	// Each sample derives its own seed from (plan seed, sample index), so
 	// parallel runs remain byte-identical to serial ones.
 	Faults *faults.Plan
+
+	// Profile, when set, attaches a per-function attribution collector to
+	// the client over the traced path invocation, filling Sample.Profile.
+	// Profiling is observation-only: every Sample metric is byte-identical
+	// with the flag on or off (a tested invariant).
+	Profile bool
 
 	// EventBudget bounds the events one sample may execute before the
 	// watchdog declares it runaway; 0 selects DefaultEventBudget.
@@ -108,6 +115,11 @@ type Sample struct {
 	// Faults carries the run's fault-injection and recovery accounting
 	// (zero when no fault plan is active).
 	Faults FaultStats
+	// Phases splits the mean measured roundtrip into the §4.3 phases.
+	Phases obs.PhaseSplit
+	// Profile is the per-function attribution of the traced invocation;
+	// nil unless Config.Profile was set.
+	Profile *obs.Profile
 }
 
 // FaultStats is one run's fault accounting: what the injector did, how the
@@ -468,6 +480,43 @@ func (s *addrBitset) add(addr uint64) {
 	}
 }
 
+// phaseSnap freezes the phase-accounting counters at one roundtrip
+// boundary: the link's cumulative wire and controller time and both hosts'
+// CPU clocks. Deltas between two snapshots decompose the interval.
+type phaseSnap struct {
+	wire, ctrl, client, server uint64
+}
+
+func (hp *hostPair) snapPhases() phaseSnap {
+	return phaseSnap{
+		wire:   hp.link.WireCycles,
+		ctrl:   hp.link.ControllerCycles,
+		client: hp.clientHost.CPU.Metrics().Cycles,
+		server: hp.serverHost.CPU.Metrics().Cycles,
+	}
+}
+
+// phaseSplit converts the counter deltas between two snapshots of a window
+// totalCycles long into the §4.3 phases, in microseconds. Processing is
+// both hosts' CPU time (protocol code plus interrupt handling); whatever
+// the wire, controllers and CPUs cannot explain is time the simulation sat
+// waiting on a protocol timer — the retransmission-backoff component that
+// dominates degraded roundtrips. Clamped at zero: on clean roundtrips tiny
+// boundary effects (a frame's serialization straddling the window edge)
+// can leave a negative residual of a few cycles.
+func phaseSplit(start, end phaseSnap, totalCycles uint64, m arch.Machine) obs.PhaseSplit {
+	us := m.CyclesPerMicrosecond()
+	ps := obs.PhaseSplit{
+		WireUS:       float64(end.wire-start.wire) / us,
+		ControllerUS: float64(end.ctrl-start.ctrl) / us,
+		ProcessUS:    float64((end.client-start.client)+(end.server-start.server)) / us,
+	}
+	if timer := float64(totalCycles)/us - ps.WireUS - ps.ControllerUS - ps.ProcessUS; timer > 0 {
+		ps.TimerWaitUS = timer
+	}
+	return ps
+}
+
 // runSample performs one measured run.
 func runSample(cfg Config, sampleIdx int) (s Sample, err error) {
 	defer recoverSample(cfg, sampleIdx, &err)
@@ -494,19 +543,41 @@ func runSample(cfg Config, sampleIdx int) (s Sample, err error) {
 	// analyzing one traced invocation.
 	var traceMetrics cpu.Metrics
 	var iStats, dStats, bStats mem.Stats
+	var phaseStart, phaseEnd phaseSnap
+	var col *obs.Collector
+	if cfg.Profile {
+		col = obs.NewCollector(ch.CPU, hp.clientProg)
+	}
 	// The final roundtrip has no follow-on request (the client is done),
 	// so the traced invocation is the second-to-last roundtrip — a full
-	// steady-state input+output path.
+	// steady-state input+output path. The marks below can coincide for
+	// small Measured values, so they are independent tests, ordered as the
+	// roundtrips are.
 	hp.onRoundtrip(func(n int) {
-		switch n {
-		case roundtrips - 2:
+		if n == cfg.Warmup {
+			// Start of the latency measurement window.
+			phaseStart = hp.snapPhases()
+		}
+		if n == roundtrips-2 {
 			ch.Mem.BeginEpoch()
 			startMetrics = ch.CPU.Metrics()
 			ch.Engine.Observer = coverage
-		case roundtrips - 1:
+			if col != nil {
+				// Attach after BeginEpoch so the collector's
+				// snapshot deltas line up with the epoch stats.
+				col.Attach(ch.Engine)
+			}
+		}
+		if n == roundtrips-1 {
+			if col != nil {
+				col.Detach(ch.Engine)
+			}
 			traceMetrics = ch.CPU.Metrics().Sub(startMetrics)
 			iStats, dStats, bStats = ch.Mem.IStats, ch.Mem.DStats, ch.Mem.BStats
 			ch.Engine.Observer = nil
+		}
+		if n == roundtrips {
+			phaseEnd = hp.snapPhases()
 		}
 	})
 
@@ -528,6 +599,11 @@ func runSample(cfg Config, sampleIdx int) (s Sample, err error) {
 		}
 	}
 
+	var prof *obs.Profile
+	if col != nil {
+		prof = col.Profile()
+	}
+
 	return Sample{
 		TeUS:             te,
 		TpUS:             float64(traceMetrics.Cycles) / m.CyclesPerMicrosecond(),
@@ -541,5 +617,7 @@ func runSample(cfg Config, sampleIdx int) (s Sample, err error) {
 		UnusedICacheFrac: unused,
 		ClassifierMisses: hp.classifierMiss(),
 		Faults:           hp.faultStats(),
+		Phases:           phaseSplit(phaseStart, phaseEnd, stamps[roundtrips-1]-stamps[cfg.Warmup-1], m).Scale(1 / M),
+		Profile:          prof,
 	}, nil
 }

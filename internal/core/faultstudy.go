@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 // FaultStudyConfig parameterizes the degraded-path latency study: for each
@@ -70,6 +71,11 @@ type FaultCell struct {
 	// fault-affected measured roundtrips; CleanRT/DegradedRT count them.
 	CleanUS, DegradedUS float64
 	CleanRT, DegradedRT int
+
+	// CleanPhases and DegradedPhases decompose each population's mean
+	// roundtrip into the §4.3 phases; the split shows the degradation is
+	// timer-wait and extra processing, not wire time.
+	CleanPhases, DegradedPhases obs.PhaseSplit
 
 	// Stats aggregates fault accounting over the cell's samples.
 	Stats FaultStats
@@ -136,6 +142,7 @@ func runFaultCell(cfg FaultStudyConfig, v Version, rate float64, cellIdx int) (F
 
 	cell := FaultCell{Version: v, Rate: rate}
 	var cleanSum, degradedSum float64
+	var cleanPh, degradedPh obs.PhaseSplit
 	for s := 0; s < rcfg.Samples; s++ {
 		fs, err := runFaultSample(rcfg, s)
 		if err != nil {
@@ -145,22 +152,28 @@ func runFaultCell(cfg FaultStudyConfig, v Version, rate float64, cellIdx int) (F
 		degradedSum += fs.degradedSumUS
 		cell.CleanRT += fs.cleanN
 		cell.DegradedRT += fs.degradedN
+		cleanPh.Add(fs.cleanPhases)
+		degradedPh.Add(fs.degradedPhases)
 		cell.Stats.Add(fs.stats)
 	}
 	if cell.CleanRT > 0 {
 		cell.CleanUS = cleanSum / float64(cell.CleanRT)
+		cell.CleanPhases = cleanPh.Scale(1 / float64(cell.CleanRT))
 	}
 	if cell.DegradedRT > 0 {
 		cell.DegradedUS = degradedSum / float64(cell.DegradedRT)
+		cell.DegradedPhases = degradedPh.Scale(1 / float64(cell.DegradedRT))
 	}
 	return cell, nil
 }
 
-// faultSample is one run's clean/degraded latency split.
+// faultSample is one run's clean/degraded latency split. The phase splits
+// are sums over the population's roundtrips, in µs.
 type faultSample struct {
-	cleanSumUS, degradedSumUS float64
-	cleanN, degradedN         int
-	stats                     FaultStats
+	cleanSumUS, degradedSumUS   float64
+	cleanN, degradedN           int
+	cleanPhases, degradedPhases obs.PhaseSplit
+	stats                       FaultStats
 }
 
 // runFaultSample runs the ping-pong once and attributes each measured
@@ -176,11 +189,17 @@ func runFaultSample(cfg Config, sampleIdx int) (fs faultSample, err error) {
 	m := arch.DEC3000_600()
 
 	// injAt[n] snapshots the injector's action count at the completion of
-	// roundtrip n (1-based); index 0 covers handshake traffic.
+	// roundtrip n (1-based); index 0 covers handshake traffic. snaps[n]
+	// freezes the phase counters at the same boundaries, so each
+	// roundtrip's latency can be decomposed per population.
 	injAt := make([]int, roundtrips+1)
+	snaps := make([]phaseSnap, roundtrips+1)
 	hp.onRoundtrip(func(n int) {
-		if hp.injector != nil && n >= 1 && n <= roundtrips {
-			injAt[n] = hp.injector.Injected()
+		if n >= 1 && n <= roundtrips {
+			if hp.injector != nil {
+				injAt[n] = hp.injector.Injected()
+			}
+			snaps[n] = hp.snapPhases()
 		}
 	})
 
@@ -191,13 +210,17 @@ func runFaultSample(cfg Config, sampleIdx int) (fs faultSample, err error) {
 
 	stamps := hp.stampFn()
 	for n := cfg.Warmup + 1; n <= roundtrips; n++ {
-		dt := float64(stamps[n-1]-stamps[n-2]) / m.CyclesPerMicrosecond()
+		dtCycles := stamps[n-1] - stamps[n-2]
+		dt := float64(dtCycles) / m.CyclesPerMicrosecond()
+		ph := phaseSplit(snaps[n-1], snaps[n], dtCycles, m)
 		if injAt[n] > injAt[n-1] {
 			fs.degradedSumUS += dt
 			fs.degradedN++
+			fs.degradedPhases.Add(ph)
 		} else {
 			fs.cleanSumUS += dt
 			fs.cleanN++
+			fs.cleanPhases.Add(ph)
 		}
 	}
 	fs.stats = hp.faultStats()
@@ -254,6 +277,20 @@ func RunFaultStudy(cfg FaultStudyConfig) (string, error) {
 			faulted.Add(c.Stats)
 		}
 	}
+	b.WriteString("\nPhase split of the mean roundtrip (§4.3), per population [us]:\n")
+	b.WriteString("version  rate  |      clean: wire   ctrl   proc  timer  |   degraded: wire   ctrl   proc  timer\n")
+	b.WriteString("-------  ----  |             ----   ----   ----  -----  |             ----   ----   ----  -----\n")
+	for _, c := range cells {
+		cp := c.CleanPhases
+		deg := "                 -      -      -      -"
+		if c.DegradedRT > 0 {
+			dp := c.DegradedPhases
+			deg = fmt.Sprintf("            %6.1f %6.1f %6.1f %6.1f", dp.WireUS, dp.ControllerUS, dp.ProcessUS, dp.TimerWaitUS)
+		}
+		fmt.Fprintf(&b, "%-7v  %.2f  |           %6.1f %6.1f %6.1f %6.1f  | %s\n",
+			c.Version, c.Rate, cp.WireUS, cp.ControllerUS, cp.ProcessUS, cp.TimerWaitUS, deg)
+	}
+
 	inj := faulted.Injected
 	fmt.Fprintf(&b, "\nreconciliation (fault cells): injector saw %d/%d link frames, dropped %d/%d, duplicated %d/%d — exact per-run equality is a checked invariant\n",
 		inj.Frames, faulted.LinkFrames, inj.Dropped, faulted.LinkDropped, inj.Duplicated, faulted.LinkDuplicated)

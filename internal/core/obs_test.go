@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestProfileZeroPerturbation checks the observability layer's core
+// guarantee: turning profiling on changes no measured number. Every
+// Sample field except Profile must be byte-identical with the hooks
+// installed or nil.
+func TestProfileZeroPerturbation(t *testing.T) {
+	cfg := Quick.Apply(DefaultConfig(StackTCPIP, CLO))
+	cfg.Samples = 2
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Profile = true
+	profiled, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Samples {
+		a, b := plain.Samples[i], profiled.Samples[i]
+		if b.Profile == nil {
+			t.Fatalf("sample %d: profiled run has no profile", i)
+		}
+		b.Profile = nil
+		if a != b {
+			t.Errorf("sample %d differs with profiling on:\n  off: %+v\n  on:  %+v", i, a, b)
+		}
+	}
+	if plain.TeMeanUS != profiled.TeMeanUS || plain.TeStdUS != profiled.TeStdUS {
+		t.Errorf("aggregate latency perturbed: %.6f/%.6f vs %.6f/%.6f",
+			plain.TeMeanUS, plain.TeStdUS, profiled.TeMeanUS, profiled.TeStdUS)
+	}
+}
+
+// TestProfileAttribution sanity-checks what the profile says about a real
+// run: the protocol functions appear, attribution reconciles with the
+// traced metrics, and the STD layout (the conflict-prone one) reports
+// replacement misses with their conflict sets.
+func TestProfileAttribution(t *testing.T) {
+	cfg := Quick.Apply(DefaultConfig(StackTCPIP, STD))
+	cfg.Samples = 1
+	cfg.Profile = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.First().Profile
+	if p == nil {
+		t.Fatal("no profile")
+	}
+	for _, fn := range []string{"tcp_input", "ip_push"} {
+		if p.Funcs[fn] == nil || p.Funcs[fn].Calls == 0 {
+			t.Errorf("profile missing protocol function %q", fn)
+		}
+	}
+	ti, _, _ := p.Totals()
+	if got := float64(ti); got != res.First().TraceLen {
+		t.Errorf("profile instructions %v != traced length %v", got, res.First().TraceLen)
+	}
+	ranked := p.Ranked()
+	if len(ranked) < 5 {
+		t.Fatalf("expected at least 5 attributed functions, got %d", len(ranked))
+	}
+	var repl uint64
+	for _, fs := range ranked {
+		repl += fs.IReplMisses
+	}
+	if repl == 0 {
+		t.Error("STD layout reports no i-cache replacement misses")
+	}
+	if len(p.TopConflicts(4)) == 0 {
+		t.Error("STD layout reports no conflict sets")
+	}
+}
+
+// TestPhaseSplitReconciles checks that each sample's phase decomposition
+// sums back to its end-to-end latency (the clamp can only absorb
+// sub-cycle rounding on clean runs).
+func TestPhaseSplitReconciles(t *testing.T) {
+	for _, kind := range []StackKind{StackTCPIP, StackRPC} {
+		cfg := Quick.Apply(DefaultConfig(kind, ALL))
+		cfg.Samples = 2
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range res.Samples {
+			if s.Phases.WireUS <= 0 || s.Phases.ControllerUS <= 0 || s.Phases.ProcessUS <= 0 {
+				t.Errorf("%v sample %d: degenerate phases %+v", kind, i, s.Phases)
+			}
+			if diff := math.Abs(s.Phases.TotalUS() - s.TeUS); diff > 0.05*s.TeUS {
+				t.Errorf("%v sample %d: phases sum to %.2f us, Te is %.2f us",
+					kind, i, s.Phases.TotalUS(), s.TeUS)
+			}
+		}
+	}
+}
+
+// TestFaultStudyPhases checks the degraded population's phase split:
+// under loss faults the extra latency must show up as timer wait, not as
+// wire time.
+func TestFaultStudyPhases(t *testing.T) {
+	cfg := FaultStudyConfig{
+		Stack:    StackTCPIP,
+		Seed:     11,
+		Rates:    []float64{0, 0.10},
+		Versions: []Version{STD},
+		Quality:  Quality{Warmup: 3, Measured: 16, Samples: 1},
+	}
+	cells, err := FaultStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.CleanRT > 0 && c.CleanPhases.TotalUS() == 0 {
+			t.Errorf("%v rate %.2f: clean population has empty phases", c.Version, c.Rate)
+		}
+		if c.DegradedRT > 0 {
+			if c.DegradedPhases.TotalUS() == 0 {
+				t.Errorf("%v rate %.2f: degraded population has empty phases", c.Version, c.Rate)
+			}
+			if c.DegradedPhases.TimerWaitUS <= c.CleanPhases.TimerWaitUS {
+				t.Errorf("%v rate %.2f: degraded timer wait %.1f us not above clean %.1f us",
+					c.Version, c.Rate, c.DegradedPhases.TimerWaitUS, c.CleanPhases.TimerWaitUS)
+			}
+		}
+	}
+}
+
+// TestJSONExportDeterministic renders a full profiled document twice — at
+// parallelism 1 and 8 — and requires byte identity, the property the
+// manifest's "any" parallelism field documents.
+func TestJSONExportDeterministic(t *testing.T) {
+	render := func(workers int) string {
+		old := Parallelism()
+		SetParallelism(workers)
+		defer SetParallelism(old)
+		results, err := RunVersionsProfiled(StackTCPIP, Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := obs.Document{Manifest: NewManifest("protolat -table 7", 0, Quick)}
+		doc.Runs = RunsDoc(results)
+		doc.Tables = append(doc.Tables, Table7Data(results, results))
+		b, err := doc.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	serial, parallel := render(1), render(8)
+	if serial != parallel {
+		t.Error("JSON export differs between -parallel 1 and -parallel 8")
+	}
+	for _, want := range []string{"\"manifest\"", "\"parallelism\": \"any\"", "\"profile\"",
+		"\"funcs\"", "\"phases\"", "\"schema\": 1"} {
+		if !strings.Contains(serial, want) {
+			t.Errorf("document missing %s", want)
+		}
+	}
+}
+
+// TestFaultStudyDocOf spot-checks the structured fault study against the
+// cells it was built from.
+func TestFaultStudyDocOf(t *testing.T) {
+	cfg := FaultStudyConfig{
+		Stack:    StackTCPIP,
+		Seed:     7,
+		Rates:    []float64{0, 0.05},
+		Versions: []Version{OUT},
+		Quality:  Quality{Warmup: 3, Measured: 8, Samples: 1},
+	}
+	cells, err := FaultStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := FaultStudyDocOf(cfg, cells)
+	if len(d.Cells) != len(cells) {
+		t.Fatalf("doc has %d cells, want %d", len(d.Cells), len(cells))
+	}
+	for i, c := range cells {
+		dc := d.Cells[i]
+		if dc.Version != c.Version.String() || dc.Rate != c.Rate ||
+			dc.CleanUS != c.CleanUS || dc.CleanRT != c.CleanRT {
+			t.Errorf("cell %d mismatch: %+v vs %+v", i, dc, c)
+		}
+		if dc.Injected.Dropped != c.Stats.Injected.Dropped {
+			t.Errorf("cell %d injected mismatch", i)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/protocols/bsd"
 	"repro/internal/protocols/features"
 )
@@ -38,10 +39,22 @@ func (q Quality) Apply(cfg Config) Config {
 // independent experiments, so they run concurrently on the worker pool and
 // assemble in Table 4 order.
 func RunVersions(kind StackKind, q Quality) (map[Version]*Result, error) {
+	return runVersions(kind, q, false)
+}
+
+// RunVersionsProfiled is RunVersions with per-function attribution
+// enabled: each result's first sample carries a Profile.
+func RunVersionsProfiled(kind StackKind, q Quality) (map[Version]*Result, error) {
+	return runVersions(kind, q, true)
+}
+
+func runVersions(kind StackKind, q Quality, profile bool) (map[Version]*Result, error) {
 	vs := Versions()
 	results := make([]*Result, len(vs))
 	err := forEachIndexed(len(vs), Parallelism(), func(i int) error {
-		res, err := Run(q.Apply(DefaultConfig(kind, vs[i])))
+		cfg := q.Apply(DefaultConfig(kind, vs[i]))
+		cfg.Profile = profile
+		res, err := Run(cfg)
 		if err != nil {
 			return fmt.Errorf("%v/%v: %w", kind, vs[i], err)
 		}
@@ -62,6 +75,13 @@ func RunVersions(kind StackKind, q Quality) (map[Version]*Result, error) {
 // each §2 improvement: the fully improved stack is compared with variants
 // that disable one improvement at a time (plus, for reference, all of them).
 func Table1(q Quality) (string, error) {
+	s, _, err := Table1Full(q)
+	return s, err
+}
+
+// Table1Full is Table1 returning both the rendered text and the
+// structured table for JSON export; the measurements run once.
+func Table1Full(q Quality) (string, obs.Table, error) {
 	type row struct {
 		name string
 		off  func(*features.Set)
@@ -99,10 +119,13 @@ func Table1(q Quality) (string, error) {
 		return err
 	})
 	if err != nil {
-		return "", err
+		return "", obs.Table{}, err
 	}
 	base := lens[0]
 
+	t := obs.Table{Name: "table1",
+		Title:   "Dynamic Instruction Count Reductions (TCP/IP path, per roundtrip)",
+		Columns: []string{"technique", "instructions_saved"}}
 	var sb strings.Builder
 	sb.WriteString("Table 1: Dynamic Instruction Count Reductions (TCP/IP path, per roundtrip)\n")
 	sb.WriteString(fmt.Sprintf("%-52s %s\n", "Technique", "Instructions saved"))
@@ -111,14 +134,23 @@ func Table1(q Quality) (string, error) {
 		saved := lens[i+1] - base
 		total += saved
 		sb.WriteString(fmt.Sprintf("%-52s %8.0f\n", r.name+":", saved))
+		t.Rows = append(t.Rows, []string{r.name, fmt.Sprintf("%.0f", saved)})
 	}
 	sb.WriteString(fmt.Sprintf("%-52s %8.0f\n", "Total:", total))
-	return sb.String(), nil
+	t.Rows = append(t.Rows, []string{"Total", fmt.Sprintf("%.0f", total)})
+	return sb.String(), t, nil
 }
 
 // Table2 compares the original (pre-§2) and improved x-kernel TCP/IP stacks
 // under the STD layout.
 func Table2(q Quality) (string, error) {
+	s, _, err := Table2Full(q)
+	return s, err
+}
+
+// Table2Full is Table2 returning both the rendered text and the
+// structured table; the measurements run once.
+func Table2Full(q Quality) (string, obs.Table, error) {
 	run := func(feat features.Set) (*Result, error) {
 		cfg := q.Apply(DefaultConfig(StackTCPIP, STD))
 		cfg.Feat = feat
@@ -126,11 +158,11 @@ func Table2(q Quality) (string, error) {
 	}
 	orig, err := run(features.Original())
 	if err != nil {
-		return "", err
+		return "", obs.Table{}, err
 	}
 	impr, err := run(features.Improved())
 	if err != nil {
-		return "", err
+		return "", obs.Table{}, err
 	}
 	m := arch.DEC3000_600()
 	var sb strings.Builder
@@ -141,19 +173,38 @@ func Table2(q Quality) (string, error) {
 	sb.WriteString(fmt.Sprintf("%-28s %12.0f %12.0f\n", "Processing time [cycles]:",
 		orig.First().TpUS*m.CyclesPerMicrosecond(), impr.First().TpUS*m.CyclesPerMicrosecond()))
 	sb.WriteString(fmt.Sprintf("%-28s %12.2f %12.2f\n", "CPI:", orig.First().CPI, impr.First().CPI))
-	return sb.String(), nil
+
+	t := obs.Table{Name: "table2",
+		Title:   "Performance Comparison of Original and Improved x-kernel TCP/IP Stack",
+		Columns: []string{"metric", "original", "improved"},
+		Rows: [][]string{
+			{"roundtrip_latency_us", fmt.Sprintf("%.1f", orig.TeMeanUS), fmt.Sprintf("%.1f", impr.TeMeanUS)},
+			{"instructions_executed", fmt.Sprintf("%.0f", orig.First().TraceLen), fmt.Sprintf("%.0f", impr.First().TraceLen)},
+			{"processing_time_cycles",
+				fmt.Sprintf("%.0f", orig.First().TpUS*m.CyclesPerMicrosecond()),
+				fmt.Sprintf("%.0f", impr.First().TpUS*m.CyclesPerMicrosecond())},
+			{"cpi", fmt.Sprintf("%.2f", orig.First().CPI), fmt.Sprintf("%.2f", impr.First().CPI)},
+		}}
+	return sb.String(), t, nil
 }
 
 // Table3 compares TCP/IP implementations: the published 80386 counts, the
 // BSD/DEC Unix organization, and the live x-kernel measurements.
 func Table3(q Quality) (string, error) {
+	s, _, err := Table3Full(q)
+	return s, err
+}
+
+// Table3Full is Table3 returning both the rendered text and the
+// structured table; the measurements run once.
+func Table3Full(q Quality) (string, obs.Table, error) {
 	decUnix, err := bsd.Measure(true)
 	if err != nil {
-		return "", err
+		return "", obs.Table{}, err
 	}
 	xk, err := measureXKernelRegions(q)
 	if err != nil {
-		return "", err
+		return "", obs.Table{}, err
 	}
 	ref := bsd.CJRS89()
 	var sb strings.Builder
@@ -170,12 +221,23 @@ func Table3(q Quality) (string, error) {
 	// prediction fails and costs a few instructions rather than saving.
 	uni, err := bsd.Measure(false)
 	if err != nil {
-		return "", err
+		return "", obs.Table{}, err
 	}
 	sb.WriteString(fmt.Sprintf("\nHeader prediction (BSD): tcp_input runs %d instructions when the prediction fires "+
 		"(unidirectional data) but %d on a bidirectional connection, where the failed prediction "+
 		"test is a dozen instructions of pure overhead.\n", uni.TCPInput, decUnix.TCPInput))
-	return sb.String(), nil
+
+	t := obs.Table{Name: "table3",
+		Title:   "Comparison of TCP/IP Implementations (inbound 1B segment, bidirectional connection)",
+		Columns: []string{"region", "i386_cjrs89", "dec_unix_modeled", "xkernel_measured"},
+		Rows: [][]string{
+			{"ipintr", fmt.Sprint(ref.Ipintr), fmt.Sprint(decUnix.Ipintr), "n/a"},
+			{"tcp_input", fmt.Sprint(ref.TCPInput), fmt.Sprint(decUnix.TCPInput), "n/a"},
+			{"ip_to_tcp", "-", fmt.Sprint(decUnix.IPToTCP), fmt.Sprint(xk.IPToTCP)},
+			{"tcp_to_socket", "-", fmt.Sprint(decUnix.TCPToSocket), fmt.Sprint(xk.TCPToSocket)},
+			{"cpi", "-", fmt.Sprintf("%.2f", decUnix.CPI), fmt.Sprintf("%.2f", xk.CPI)},
+		}}
+	return sb.String(), t, nil
 }
 
 // Table45 renders end-to-end roundtrip latency (Table 4) and the

@@ -41,6 +41,7 @@ var versionNames = map[Version]string{
 	STD: "STD", OUT: "OUT", CLO: "CLO", BAD: "BAD", PIN: "PIN", ALL: "ALL",
 }
 
+// String returns the paper's name for the version.
 func (v Version) String() string { return versionNames[v] }
 
 // Versions lists all configurations in the paper's Table 4 order (slowest
@@ -56,6 +57,7 @@ const (
 	StackRPC
 )
 
+// String returns the stack's display name.
 func (s StackKind) String() string {
 	if s == StackRPC {
 		return "RPC"
@@ -77,6 +79,7 @@ const (
 	LinearLayout
 )
 
+// String returns the strategy's short name.
 func (c CloneStrategy) String() string {
 	switch c {
 	case MicroPosition:

@@ -121,6 +121,7 @@ func (c *Counters) Add(o Counters) {
 	c.Jittered += o.Jittered
 }
 
+// String renders the counters in one line for log output.
 func (c Counters) String() string {
 	return fmt.Sprintf("faults{frames=%d drop=%d corrupt=%d dup=%d reorder=%d jitter=%d}",
 		c.Frames, c.Dropped, c.Corrupted, c.Duplicated, c.Reordered, c.Jittered)

@@ -1,0 +1,36 @@
+package layout
+
+import "repro/internal/code"
+
+// Partition names for the observability profile. They mirror the bipartite
+// layout's regions: the path partition (functions executed once per path
+// invocation), the library partition (functions invoked several times per
+// path, kept cached between invocations), and the shared cold region the
+// outliner moves error/init/unrolled blocks into.
+const (
+	// PartitionPath is the bipartite layout's per-invocation code region.
+	PartitionPath = "path"
+	// PartitionLibrary is the region reserved for multiply-invoked
+	// library functions (bcopy, checksum, map and buffer tools).
+	PartitionLibrary = "library"
+	// PartitionOutlined is the cold region behind the hot code where
+	// outlined blocks live.
+	PartitionOutlined = "outlined"
+)
+
+// PartitionName maps a placed block's function class and block kind to the
+// layout partition it belongs to. Outlined (non-mainline) blocks are in the
+// cold region regardless of their function's class; mainline blocks split
+// by the bipartite path/library classification. Versions that do not clone
+// keep the same attribution: the partition then describes what the
+// bipartite layout *would* do with the block, which is exactly the lens the
+// profile needs to explain why CLO beats OUT.
+func PartitionName(c code.Class, k code.BlockKind) string {
+	if k.Outlinable() {
+		return PartitionOutlined
+	}
+	if c == code.ClassLibrary {
+		return PartitionLibrary
+	}
+	return PartitionPath
+}

@@ -72,6 +72,15 @@ type Link struct {
 	Dropped    int
 	Delivered  int
 	Duplicated int
+
+	// WireCycles and ControllerCycles accumulate, over every transmitted
+	// frame (delivered or not — the sender serializes the frame either
+	// way), the time spent on the wire and in the LANCE controller. They
+	// are the inputs to the §4.3 phase accounting: subtracting them and
+	// both hosts' processing time from a roundtrip leaves the time spent
+	// waiting on protocol timers.
+	WireCycles       uint64
+	ControllerCycles uint64
 }
 
 // NewLink builds a link on the given queue.
@@ -92,6 +101,8 @@ func NewLink(q *xkernel.EventQueue) *Link {
 // delivery at all, and a delayed one moves only the receive side.
 func (l *Link) Transmit(frame []byte, extraDelay uint64, deliver func(frame []byte), txDone func()) {
 	l.Frames++
+	l.WireCycles += WireTimeCycles(len(frame))
+	l.ControllerCycles += ControllerOverheadCycles
 	txLatency := extraDelay + ControllerOverheadCycles + WireTimeCycles(len(frame))
 	cp := append([]byte(nil), frame...)
 	if txDone != nil {
@@ -114,6 +125,7 @@ func (l *Link) Transmit(frame []byte, extraDelay uint64, deliver func(frame []by
 	if f.Duplicate {
 		l.Duplicated++
 		l.Delivered++
+		l.WireCycles += WireTimeCycles(len(frame))
 		dup := append([]byte(nil), cp...)
 		l.Queue.Schedule(deliverAt+WireTimeCycles(len(frame)), func() { deliver(dup) })
 	}

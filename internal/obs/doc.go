@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"encoding/json"
+
+	"repro/internal/arch"
+)
+
+// SchemaVersion identifies the JSON document layout. Bump it on any
+// incompatible change so downstream consumers can detect drift.
+const SchemaVersion = 1
+
+// PhaseSplit decomposes one mean roundtrip into the §4.3 phases, in
+// microseconds: time on the wire, time in the LANCE controllers, protocol
+// processing on both hosts, and the residual spent waiting on protocol
+// timers. The four parts sum to the roundtrip latency they describe.
+type PhaseSplit struct {
+	// WireUS is frame serialization time on the Ethernet.
+	WireUS float64 `json:"wire_us"`
+	// ControllerUS is the per-frame LANCE transmit-to-interrupt overhead.
+	ControllerUS float64 `json:"controller_us"`
+	// ProcessUS is CPU time (protocol processing plus interrupt handling)
+	// on client and server together.
+	ProcessUS float64 `json:"process_us"`
+	// TimerWaitUS is the residual: virtual time in which nothing but a
+	// pending protocol timer (retransmission backoff) advanced the clock.
+	TimerWaitUS float64 `json:"timer_wait_us"`
+}
+
+// TotalUS sums the four phases.
+func (p PhaseSplit) TotalUS() float64 {
+	return p.WireUS + p.ControllerUS + p.ProcessUS + p.TimerWaitUS
+}
+
+// Add accumulates another split into p.
+func (p *PhaseSplit) Add(o PhaseSplit) {
+	p.WireUS += o.WireUS
+	p.ControllerUS += o.ControllerUS
+	p.ProcessUS += o.ProcessUS
+	p.TimerWaitUS += o.TimerWaitUS
+}
+
+// Scale returns the split multiplied by f (used to convert totals to
+// per-roundtrip means).
+func (p PhaseSplit) Scale(f float64) PhaseSplit {
+	return PhaseSplit{
+		WireUS:       p.WireUS * f,
+		ControllerUS: p.ControllerUS * f,
+		ProcessUS:    p.ProcessUS * f,
+		TimerWaitUS:  p.TimerWaitUS * f,
+	}
+}
+
+// QualityDoc records the sample sizing a document was produced with.
+type QualityDoc struct {
+	Warmup   int `json:"warmup"`
+	Measured int `json:"measured"`
+	Samples  int `json:"samples"`
+}
+
+// Manifest identifies a run well enough to reproduce it: the seed, the
+// machine model, the sample sizing, and the semantic command line.
+// Parallelism is recorded as "any" because output is byte-identical at
+// every -parallel width — the worker count is an execution detail, not an
+// input.
+type Manifest struct {
+	Schema      int             `json:"schema"`
+	Paper       string          `json:"paper"`
+	Command     string          `json:"command"`
+	GitDescribe string          `json:"git_describe,omitempty"`
+	Seed        uint64          `json:"seed"`
+	Parallelism string          `json:"parallelism"`
+	Quality     QualityDoc      `json:"quality"`
+	Machine     arch.Machine    `json:"machine"`
+	Versions    []string        `json:"versions,omitempty"`
+	Features    map[string]bool `json:"features,omitempty"`
+}
+
+// Table is a rendered table's data: column names plus stringified cells,
+// exactly the values the text renderer prints.
+type Table struct {
+	Name    string     `json:"name"`
+	Title   string     `json:"title,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// Figure carries a text-rendered figure (ASCII plots, heatmaps).
+type Figure struct {
+	Name  string `json:"name"`
+	Title string `json:"title,omitempty"`
+	Text  string `json:"text"`
+}
+
+// CacheDoc is one cache level's statistics.
+type CacheDoc struct {
+	Accesses   uint64 `json:"accesses"`
+	Misses     uint64 `json:"misses"`
+	ReplMisses uint64 `json:"repl_misses"`
+}
+
+// SampleDoc is one measured sample of one run.
+type SampleDoc struct {
+	TeUS             float64    `json:"te_us"`
+	TpUS             float64    `json:"tp_us"`
+	TraceLen         float64    `json:"trace_len"`
+	CPI              float64    `json:"cpi"`
+	ICPI             float64    `json:"icpi"`
+	MCPI             float64    `json:"mcpi"`
+	ICache           CacheDoc   `json:"icache"`
+	DCache           CacheDoc   `json:"dcache"`
+	BCache           CacheDoc   `json:"bcache"`
+	UnusedICacheFrac float64    `json:"unused_icache_frac"`
+	ClassifierMisses int        `json:"classifier_misses,omitempty"`
+	Phases           PhaseSplit `json:"phases"`
+}
+
+// FuncCountDoc names one function's share of a conflict set.
+type FuncCountDoc struct {
+	Func       string `json:"func"`
+	ReplMisses uint64 `json:"repl_misses"`
+}
+
+// SetConflictDoc is one i-cache set's conflict record: which functions
+// evicted each other there and how often.
+type SetConflictDoc struct {
+	Set        int            `json:"set"`
+	Misses     uint64         `json:"misses"`
+	ReplMisses uint64         `json:"repl_misses"`
+	Funcs      []FuncCountDoc `json:"funcs,omitempty"`
+}
+
+// ProfileDoc is the JSON form of a Profile: functions ranked by stall
+// cycles plus the hottest conflict sets.
+type ProfileDoc struct {
+	TotalInstructions uint64           `json:"total_instructions"`
+	TotalCycles       uint64           `json:"total_cycles"`
+	TotalStallCycles  uint64           `json:"total_stall_cycles"`
+	Funcs             []FuncStats      `json:"funcs"`
+	SetConflicts      []SetConflictDoc `json:"set_conflicts,omitempty"`
+}
+
+// Doc converts the profile to its JSON form, keeping at most topConflicts
+// conflict sets (0 keeps all with any replacement miss).
+func (p *Profile) Doc(topConflicts int) *ProfileDoc {
+	ti, tc, ts := p.Totals()
+	d := &ProfileDoc{TotalInstructions: ti, TotalCycles: tc, TotalStallCycles: ts}
+	for _, fs := range p.Ranked() {
+		d.Funcs = append(d.Funcs, *fs)
+	}
+	for _, cs := range p.TopConflicts(topConflicts) {
+		d.SetConflicts = append(d.SetConflicts, SetConflictDoc{
+			Set:        cs.Set,
+			Misses:     cs.Misses,
+			ReplMisses: cs.ReplMisses,
+			Funcs:      cs.rankedFuncs(),
+		})
+	}
+	return d
+}
+
+// Run is one (stack, version) experiment in a document.
+type Run struct {
+	Stack            string      `json:"stack"`
+	Version          string      `json:"version"`
+	TeMeanUS         float64     `json:"te_mean_us"`
+	TeStdUS          float64     `json:"te_std_us"`
+	StaticPathInstrs int         `json:"static_path_instrs"`
+	Samples          []SampleDoc `json:"samples"`
+	Profile          *ProfileDoc `json:"profile,omitempty"`
+}
+
+// InjectedDoc tallies the fault injector's actions in a fault-study cell.
+type InjectedDoc struct {
+	Frames     int `json:"frames"`
+	Dropped    int `json:"dropped"`
+	Corrupted  int `json:"corrupted"`
+	Duplicated int `json:"duplicated"`
+	Reordered  int `json:"reordered"`
+	Jittered   int `json:"jittered"`
+}
+
+// RecoveryDoc tallies the protocol's recovery work in a fault-study cell.
+type RecoveryDoc struct {
+	Retransmits    int `json:"retransmits"`
+	Aborts         int `json:"aborts"`
+	ChecksumErrors int `json:"checksum_errors"`
+}
+
+// FaultCellDoc is one (version, rate) cell of the fault study, with the
+// roundtrip population split into clean and degraded parts and each part's
+// phase decomposition.
+type FaultCellDoc struct {
+	Version        string      `json:"version"`
+	Rate           float64     `json:"rate"`
+	CleanUS        float64     `json:"clean_us"`
+	DegradedUS     float64     `json:"degraded_us"`
+	CleanRT        int         `json:"clean_rt"`
+	DegradedRT     int         `json:"degraded_rt"`
+	CleanPhases    PhaseSplit  `json:"clean_phases"`
+	DegradedPhases PhaseSplit  `json:"degraded_phases"`
+	Injected       InjectedDoc `json:"injected"`
+	Recovery       RecoveryDoc `json:"recovery"`
+}
+
+// FaultStudyDoc is the structured form of the degraded-path study.
+type FaultStudyDoc struct {
+	Stack string         `json:"stack"`
+	Cells []FaultCellDoc `json:"cells"`
+}
+
+// Document is the root of a protolat JSON export: the manifest plus
+// whatever the selected mode produced.
+type Document struct {
+	Manifest   Manifest       `json:"manifest"`
+	Tables     []Table        `json:"tables,omitempty"`
+	Figures    []Figure       `json:"figures,omitempty"`
+	Runs       []Run          `json:"runs,omitempty"`
+	FaultStudy *FaultStudyDoc `json:"fault_study,omitempty"`
+}
+
+// Marshal renders the document as indented JSON with a trailing newline.
+// Output is deterministic: maps marshal with sorted keys and all slices
+// are built in deterministic order, so identical inputs yield identical
+// bytes regardless of how many workers produced them.
+func (d *Document) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,285 @@
+// Package obs is the observability layer: it turns the simulator's raw
+// counters into per-function attribution, i-cache set-conflict heatmaps,
+// §4.3 phase accounting, and deterministic JSON documents.
+//
+// The package is strictly an observer. A Collector attaches to a running
+// engine through the hooks the simulator already exposes (code.AttrSink,
+// mem.Hierarchy.OnIMiss) and charges deltas of the cumulative CPU and
+// memory counters to whichever function is on top of the model call stack
+// at each function boundary. With no collector attached every hook is nil
+// and the simulator's hot path is unchanged, so profiling never perturbs
+// the numbers it explains.
+//
+// Attribution is exclusive (self time): cycles a function spends inside a
+// callee are charged to the callee. Time spent outside any model function —
+// the experiment harness's dispatch code between engine runs — lands in the
+// DispatchBucket pseudo-function so the totals always reconcile with the
+// CPU's own metrics.
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/code"
+	"repro/internal/layout"
+	"repro/internal/sim/cpu"
+	"repro/internal/sim/mem"
+)
+
+// DispatchBucket is the pseudo-function name charged with cycles executed
+// while no model function is active (harness dispatch between engine runs
+// and unbalanced attach windows).
+const DispatchBucket = "(dispatch)"
+
+// FuncStats is the per-function slice of a Profile: every counter is the
+// function's exclusive (self) share of the sample's totals.
+type FuncStats struct {
+	// Name is the model function's name (or DispatchBucket).
+	Name string `json:"name"`
+	// Partition is the layout partition the function's mainline blocks
+	// belong to: "path", "library", or "outlined" (see internal/layout).
+	Partition string `json:"partition"`
+	// Calls counts entries into the function.
+	Calls uint64 `json:"calls"`
+	// Instructions is the function's dynamic instruction count.
+	Instructions uint64 `json:"instructions"`
+	// Cycles is total time including memory stalls.
+	Cycles uint64 `json:"cycles"`
+	// StallCycles is Cycles minus the perfect-memory time: the function's
+	// contribution to mCPI.
+	StallCycles uint64 `json:"stall_cycles"`
+	// IMisses and IReplMisses count i-cache misses and the replacement
+	// (conflict) subset charged to this function's addresses.
+	IMisses     uint64 `json:"icache_misses"`
+	IReplMisses uint64 `json:"icache_repl_misses"`
+	// DMisses and DReplMisses count d-cache misses while the function was
+	// on top of the call stack.
+	DMisses     uint64 `json:"dcache_misses"`
+	DReplMisses uint64 `json:"dcache_repl_misses"`
+	// IMissesByKind splits the i-cache misses by the faulting block's
+	// kind ("main", "error", "init", "unrolled").
+	IMissesByKind map[string]uint64 `json:"icache_misses_by_kind,omitempty"`
+}
+
+// SetStats is the per-i-cache-set slice of a Profile, feeding the conflict
+// heatmap. ByFunc maps function name to replacement misses that function
+// suffered in this set; two or more entries mean the functions evict each
+// other.
+type SetStats struct {
+	Misses     uint64
+	ReplMisses uint64
+	ByFunc     map[string]uint64
+}
+
+// Profile aggregates one sample's attribution: per-function counters plus
+// per-i-cache-set conflict counts.
+type Profile struct {
+	// Funcs maps function name to its exclusive counters.
+	Funcs map[string]*FuncStats
+	// Sets has one entry per i-cache set.
+	Sets []SetStats
+}
+
+// NewProfile returns an empty profile sized for an i-cache with nSets sets.
+func NewProfile(nSets int) *Profile {
+	return &Profile{Funcs: make(map[string]*FuncStats), Sets: make([]SetStats, nSets)}
+}
+
+func (p *Profile) fn(name, partition string) *FuncStats {
+	fs := p.Funcs[name]
+	if fs == nil {
+		fs = &FuncStats{Name: name, Partition: partition}
+		p.Funcs[name] = fs
+	}
+	return fs
+}
+
+// Totals sums the exclusive per-function counters; by construction they
+// reconcile with the CPU's cumulative metrics over the attached window.
+func (p *Profile) Totals() (instructions, cycles, stalls uint64) {
+	for _, fs := range p.Funcs {
+		instructions += fs.Instructions
+		cycles += fs.Cycles
+		stalls += fs.StallCycles
+	}
+	return
+}
+
+// Ranked returns the functions ordered by descending stall cycles (the
+// mCPI contribution), ties broken by name for determinism.
+func (p *Profile) Ranked() []*FuncStats {
+	out := make([]*FuncStats, 0, len(p.Funcs))
+	for _, fs := range p.Funcs {
+		out = append(out, fs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StallCycles != out[j].StallCycles {
+			return out[i].StallCycles > out[j].StallCycles
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Collector implements code.AttrSink and the mem.Hierarchy miss hook. It
+// snapshots the cumulative CPU metrics and cache statistics at every
+// function boundary and charges the delta to the function that was
+// executing, giving exclusive (self) attribution without touching the
+// per-instruction path.
+type Collector struct {
+	cpu  *cpu.CPU
+	hier *mem.Hierarchy
+	prof *Profile
+
+	spans     []code.TextSpan
+	partition map[string]string
+
+	blockShift uint
+	setMask    uint64
+
+	stack []string
+	lastM cpu.Metrics
+	lastI mem.Stats
+	lastD mem.Stats
+}
+
+// NewCollector builds a collector for the given CPU and linked program.
+// The i-cache geometry (set count, block size) is taken from the CPU's
+// memory hierarchy. Call Attach to start observing.
+func NewCollector(c *cpu.CPU, prog *code.Program) *Collector {
+	h := c.Hierarchy()
+	m := h.Machine()
+	shift := uint(0)
+	for 1<<shift < m.BlockBytes {
+		shift++
+	}
+	assoc := m.Assoc
+	if assoc < 1 {
+		assoc = 1
+	}
+	sets := m.ICacheBytes / m.BlockBytes / assoc
+	if sets < 1 {
+		sets = 1
+	}
+	part := make(map[string]string)
+	for _, f := range prog.Funcs() {
+		part[f.Name] = layout.PartitionName(f.Class, code.BlockMain)
+	}
+	return &Collector{
+		cpu:        c,
+		hier:       h,
+		prof:       NewProfile(sets),
+		spans:      prog.TextMap(),
+		partition:  part,
+		blockShift: shift,
+		setMask:    uint64(sets - 1),
+	}
+}
+
+// Profile returns the profile accumulated so far.
+func (c *Collector) Profile() *Profile { return c.prof }
+
+// Attach installs the collector's hooks on the engine and its memory
+// hierarchy and baselines the counter snapshots. Attach after
+// mem.BeginEpoch so the deltas line up with the measured window, and only
+// while the engine is idle (between Run calls).
+func (c *Collector) Attach(e *code.Engine) {
+	c.lastM = c.cpu.Metrics()
+	c.lastI = c.hier.IStats
+	c.lastD = c.hier.DStats
+	e.Attr = c
+	c.hier.OnIMiss = c.onIMiss
+}
+
+// Detach charges the tail delta, removes the hooks, and leaves the profile
+// ready to read.
+func (c *Collector) Detach(e *code.Engine) {
+	c.charge()
+	if e.Attr == code.AttrSink(c) {
+		e.Attr = nil
+	}
+	c.hier.OnIMiss = nil
+}
+
+func (c *Collector) top() string {
+	if len(c.stack) == 0 {
+		return DispatchBucket
+	}
+	return c.stack[len(c.stack)-1]
+}
+
+// charge attributes the counter deltas since the last boundary to the
+// function currently on top of the stack.
+func (c *Collector) charge() {
+	m := c.cpu.Metrics()
+	i, d := c.hier.IStats, c.hier.DStats
+	dm := m.Sub(c.lastM)
+	name := c.top()
+	fs := c.prof.fn(name, c.partition[name])
+	fs.Instructions += dm.Instructions
+	fs.Cycles += dm.Cycles
+	if dm.Cycles > dm.PerfectCycles {
+		fs.StallCycles += dm.Cycles - dm.PerfectCycles
+	}
+	fs.IMisses += i.Misses - c.lastI.Misses
+	fs.IReplMisses += i.ReplMisses - c.lastI.ReplMisses
+	fs.DMisses += d.Misses - c.lastD.Misses
+	fs.DReplMisses += d.ReplMisses - c.lastD.ReplMisses
+	c.lastM, c.lastI, c.lastD = m, i, d
+}
+
+// EnterFunc implements code.AttrSink.
+func (c *Collector) EnterFunc(name string) {
+	c.charge()
+	c.stack = append(c.stack, name)
+	c.prof.fn(name, c.partition[name]).Calls++
+}
+
+// ExitFunc implements code.AttrSink. It tolerates an empty stack (the
+// collector may attach mid-call-tree), attributing the preceding window to
+// the dispatch bucket.
+func (c *Collector) ExitFunc(name string) {
+	c.charge()
+	if n := len(c.stack); n > 0 {
+		c.stack = c.stack[:n-1]
+	}
+}
+
+// onIMiss resolves a faulting instruction address to its function and
+// block kind via the text map and updates the per-set conflict counts.
+// Only replacement misses enter ByFunc: cold misses are compulsory and say
+// nothing about conflicts.
+func (c *Collector) onIMiss(addr uint64, repl bool) {
+	set := int((addr >> uint64(c.blockShift)) & c.setMask)
+	if set >= len(c.prof.Sets) {
+		return
+	}
+	ss := &c.prof.Sets[set]
+	ss.Misses++
+	if !repl {
+		return
+	}
+	ss.ReplMisses++
+	sp := c.lookup(addr)
+	if sp == nil {
+		return
+	}
+	if ss.ByFunc == nil {
+		ss.ByFunc = make(map[string]uint64)
+	}
+	ss.ByFunc[sp.Func]++
+	fs := c.prof.fn(sp.Func, c.partition[sp.Func])
+	if fs.IMissesByKind == nil {
+		fs.IMissesByKind = make(map[string]uint64)
+	}
+	fs.IMissesByKind[sp.Kind.String()]++
+}
+
+// lookup binary-searches the text map for the span containing addr.
+func (c *Collector) lookup(addr uint64) *code.TextSpan {
+	i := sort.Search(len(c.spans), func(i int) bool { return c.spans[i].End > addr })
+	if i < len(c.spans) && c.spans[i].Start <= addr {
+		return &c.spans[i]
+	}
+	return nil
+}

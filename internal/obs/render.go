@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// intensity is the heatmap's ten-step brightness ramp, blank = no
+// replacement misses in the set.
+const intensity = " .:-=+*#%@"
+
+// heatmapWidth is the number of i-cache sets rendered per heatmap row.
+const heatmapWidth = 64
+
+// TopTable renders the top-n mCPI contributors as a fixed-width text
+// table: each row is one function's exclusive instruction count, stall
+// cycles, mCPI share (stalls over the *sample's* total instructions, so
+// the column sums to the sample's mCPI), and i-/d-cache miss splits.
+func (p *Profile) TopTable(n int) string {
+	ranked := p.Ranked()
+	if n > 0 && len(ranked) > n {
+		ranked = ranked[:n]
+	}
+	totalInstr, _, totalStall := p.Totals()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %-9s %9s %9s %7s %7s %7s %7s\n",
+		"function", "partition", "instrs", "stalls", "mCPI", "i-cold", "i-repl", "d-miss")
+	for _, fs := range ranked {
+		share := 0.0
+		if totalInstr > 0 {
+			share = float64(fs.StallCycles) / float64(totalInstr)
+		}
+		cold := fs.IMisses - fs.IReplMisses
+		fmt.Fprintf(&b, "%-26s %-9s %9d %9d %7.3f %7d %7d %7d\n",
+			fs.Name, fs.Partition, fs.Instructions, fs.StallCycles, share,
+			cold, fs.IReplMisses, fs.DMisses)
+	}
+	if totalInstr > 0 {
+		fmt.Fprintf(&b, "%-26s %-9s %9d %9d %7.3f\n",
+			"(total)", "", totalInstr, totalStall, float64(totalStall)/float64(totalInstr))
+	}
+	return b.String()
+}
+
+// conflictSet pairs a set index with its stats for ranking.
+type conflictSet struct {
+	Set int
+	SetStats
+}
+
+// TopConflicts returns the sets with the most replacement misses, ties
+// broken by set index, at most n entries, sets with none omitted.
+func (p *Profile) TopConflicts(n int) []conflictSet {
+	var out []conflictSet
+	for i := range p.Sets {
+		if p.Sets[i].ReplMisses > 0 {
+			out = append(out, conflictSet{Set: i, SetStats: p.Sets[i]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ReplMisses != out[j].ReplMisses {
+			return out[i].ReplMisses > out[j].ReplMisses
+		}
+		return out[i].Set < out[j].Set
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// rankedFuncs returns a set's conflicting functions ordered by descending
+// replacement misses, ties by name.
+func (s *SetStats) rankedFuncs() []FuncCountDoc {
+	out := make([]FuncCountDoc, 0, len(s.ByFunc))
+	for name, n := range s.ByFunc {
+		out = append(out, FuncCountDoc{Func: name, ReplMisses: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ReplMisses != out[j].ReplMisses {
+			return out[i].ReplMisses > out[j].ReplMisses
+		}
+		return out[i].Func < out[j].Func
+	})
+	return out
+}
+
+// Heatmap renders the i-cache set-conflict map: one character per set
+// (row-major, heatmapWidth sets per row), brightness proportional to the
+// set's replacement misses relative to the worst set. Below the map the
+// top conflicting sets are listed with the functions that evict each
+// other — the quantitative version of the paper's Figure 2.
+func (p *Profile) Heatmap(topN int) string {
+	var max uint64
+	for i := range p.Sets {
+		if p.Sets[i].ReplMisses > max {
+			max = p.Sets[i].ReplMisses
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "i-cache set conflict map (%d sets, %d per row, scale max=%d repl misses)\n",
+		len(p.Sets), heatmapWidth, max)
+	for base := 0; base < len(p.Sets); base += heatmapWidth {
+		end := base + heatmapWidth
+		if end > len(p.Sets) {
+			end = len(p.Sets)
+		}
+		fmt.Fprintf(&b, "%4d |", base)
+		for i := base; i < end; i++ {
+			b.WriteByte(intensity[rampIndex(p.Sets[i].ReplMisses, max)])
+		}
+		b.WriteString("|\n")
+	}
+	conflicts := p.TopConflicts(topN)
+	if len(conflicts) == 0 {
+		b.WriteString("no replacement misses: the layout is conflict-free in this window\n")
+		return b.String()
+	}
+	b.WriteString("hottest sets:\n")
+	for _, cs := range conflicts {
+		fmt.Fprintf(&b, "  set %3d: %5d repl", cs.Set, cs.ReplMisses)
+		funcs := cs.rankedFuncs()
+		for i, fc := range funcs {
+			if i == 0 {
+				b.WriteString("  ")
+			} else {
+				b.WriteString(" <-> ")
+			}
+			fmt.Fprintf(&b, "%s(%d)", fc.Func, fc.ReplMisses)
+			if i == 3 {
+				fmt.Fprintf(&b, " +%d more", len(funcs)-4)
+				break
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// rampIndex maps a count onto the intensity ramp: zero stays blank, any
+// non-zero count gets at least the first visible step.
+func rampIndex(n, max uint64) int {
+	if n == 0 || max == 0 {
+		return 0
+	}
+	idx := 1 + int(uint64(len(intensity)-2)*n/max)
+	if idx > len(intensity)-1 {
+		idx = len(intensity) - 1
+	}
+	return idx
+}

@@ -32,6 +32,14 @@ type Hierarchy struct {
 	IStats Stats
 	DStats Stats
 	BStats Stats
+
+	// OnIMiss, when non-nil, observes every i-cache miss: the faulting
+	// instruction address and whether the miss was a replacement
+	// (conflict) miss rather than a cold one. The observability layer
+	// uses it to build per-set conflict heatmaps. The hook sits on the
+	// miss path only, so a nil hook leaves the hit path untouched and
+	// costs one pointer comparison per miss.
+	OnIMiss func(addr uint64, repl bool)
 }
 
 // New builds a hierarchy for machine m. The machine description must be
@@ -79,6 +87,9 @@ func (h *Hierarchy) FetchInstr(now, addr uint64) (stall uint64) {
 	h.IStats.Misses++
 	if repl {
 		h.IStats.ReplMisses++
+	}
+	if h.OnIMiss != nil {
+		h.OnIMiss(addr, repl)
 	}
 	block := addr >> uint64(h.icache.blockShift)
 	if h.streamValid && h.streamBlock == block {

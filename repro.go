@@ -29,6 +29,7 @@ package repro
 import (
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 // Version is one of the paper's six measured configurations.
@@ -224,5 +225,61 @@ func FaultStudy(cfg FaultStudyConfig) ([]FaultCell, error) { return core.FaultSt
 
 // RunFaultStudy renders the fault-injection study: per layout strategy and
 // fault rate, mainline vs degraded-path roundtrip latency with reconciled
-// fault counters.
+// fault counters and the §4.3 phase split of each population.
 func RunFaultStudy(cfg FaultStudyConfig) (string, error) { return core.RunFaultStudy(cfg) }
+
+// Observability layer (see internal/obs). Profile is the per-function
+// attribution of one traced path invocation — set Config.Profile (or use
+// RunVersionsProfiled) to collect one per sample. PhaseSplit decomposes a
+// roundtrip into the §4.3 phases. Document, Manifest, Table and Figure are
+// the deterministic JSON export schema behind `protolat -json`.
+type (
+	Profile    = obs.Profile
+	FuncStats  = obs.FuncStats
+	PhaseSplit = obs.PhaseSplit
+	Document   = obs.Document
+	Manifest   = obs.Manifest
+	Table      = obs.Table
+	Figure     = obs.Figure
+	RunExport  = obs.Run
+)
+
+// RunVersionsProfiled is RunVersions with per-function attribution
+// enabled; each result's samples carry a Profile. Profiling is
+// observation-only: every other measured number is byte-identical to an
+// unprofiled run (a tested invariant).
+func RunVersionsProfiled(kind StackKind, q Quality) (map[Version]*Result, error) {
+	return core.RunVersionsProfiled(kind, q)
+}
+
+// ProfileReport renders the per-function mCPI attribution for every
+// version of a stack: top-N contributors plus the i-cache set-conflict
+// heatmap naming the functions whose placements collide (the quantitative
+// companion of Figure 2). The returned results feed structured export.
+func ProfileReport(kind StackKind, q Quality, topN int) (string, map[Version]*Result, error) {
+	return core.ProfileReport(kind, q, topN)
+}
+
+// NewManifest builds a document manifest. command should carry only
+// semantic flags (not -parallel or -json, which cannot change output).
+func NewManifest(command string, seed uint64, q Quality) Manifest {
+	return core.NewManifest(command, seed, q)
+}
+
+// Structured-export builders mirroring the text renderers value for value:
+// the *Full table generators run the measurement once and return both
+// renderings; the *Data builders are pure over already-computed results.
+var (
+	Table1Full      = core.Table1Full
+	Table2Full      = core.Table2Full
+	Table3Full      = core.Table3Full
+	Table45Data     = core.Table45Data
+	Table6Data      = core.Table6Data
+	Table7Data      = core.Table7Data
+	Table8Data      = core.Table8Data
+	Table9Data      = core.Table9Data
+	RunDoc          = core.RunDoc
+	RunsDoc         = core.RunsDoc
+	FaultStudyDocOf = core.FaultStudyDocOf
+	SampleDoc       = core.SampleDoc
+)

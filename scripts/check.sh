@@ -1,12 +1,40 @@
 #!/usr/bin/env bash
-# Tier-1 verification in one command: vet, build, the full test suite under
-# the race detector (the parallel runner and the fault-injection paths are
-# both exercised), and the fixed-seed fault-study smoke test with its
-# golden-output diff.
+# Tier-1 verification in one command: formatting, godoc coverage on the
+# public surfaces, vet, build, the full test suite under the race
+# detector (the parallel runner and the fault-injection paths are both
+# exercised), the fixed-seed fault-study smoke test with its
+# golden-output diff, and the CLI documentation drift gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# gofmt -l exits 0 even when files need formatting; fail on any output.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "check: gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+# Doc-comment gate: every exported top-level declaration in the packages
+# that form the repo's API surface must carry a doc comment.
+undocumented=$(
+	find . internal/core internal/faults internal/layout internal/obs \
+		-maxdepth 1 -name '*.go' ! -name '*_test.go' |
+		while read -r f; do
+			awk -v f="$f" '
+				NR > 1 && /^(func|type|var|const) [A-Z]/ &&
+				prev !~ /^\/\// && prev !~ /^\)/ { print f ":" FNR ": " $0 }
+				{ prev = $0 }' "$f"
+		done
+)
+if [ -n "$undocumented" ]; then
+	echo "check: exported declarations missing doc comments:" >&2
+	echo "$undocumented" >&2
+	exit 1
+fi
 
 go vet ./...
 go build ./...
 go test -race ./...
 ./scripts/fault_smoke.sh
+./scripts/doc_check.sh
