@@ -1,12 +1,15 @@
 # Tier-1 verification and perf-trajectory targets.
 
-.PHONY: check bench-parallel test build
+.PHONY: check bench-parallel bench-soak test build
 
 check: ## vet + build + race-enabled tests, one command
 	./scripts/check.sh
 
 bench-parallel: ## record BENCH_parallel.json (parallel runner + build cache)
 	./scripts/bench_parallel.sh
+
+bench-soak: ## record BENCH_soak.json (soak harness: full run + per-unit cost)
+	./scripts/bench_soak.sh
 
 build:
 	go build ./...

@@ -12,6 +12,10 @@
 //	protolat -parallel 8 -quality paper           # 8 workers; same output
 //	protolat -faults -seed 7                      # fault-injection study
 //	protolat -faults -rates 0,0.05 -stack rpc     # custom rates / RPC stack
+//	protolat -stack tcpip -policy adaptive        # adaptive recovery timers
+//	protolat -soak -seed 7                        # resumable soak across fault regimes
+//	protolat -soak -checkpoint s.journal -soakstop 20   # stop early, journal kept
+//	protolat -soak -checkpoint s.journal -resume        # continue from the journal
 //	protolat -profile -top 8                      # per-function mCPI attribution
 //	protolat -table 7 -json out.json              # structured export + manifest
 //
@@ -46,7 +50,12 @@ func main() {
 		sens     = flag.String("sensitivity", "", "run a sensitivity sweep: cache, machine, or assoc")
 		mconn    = flag.Bool("multiconn", false, "run the connection-time cloning experiment")
 		faultrun = flag.Bool("faults", false, "run the fault-injection study (degraded-path latency per layout strategy)")
-		seed     = flag.Uint64("seed", 1, "fault-plan seed for -faults; same seed = byte-identical report at any -parallel")
+		soakrun  = flag.Bool("soak", false, "run the resumable soak: fault regimes x recovery policies x versions with tail-latency digests")
+		policy   = flag.String("policy", "", "recovery policy for -stack runs: fixed (default) or adaptive")
+		chkpoint = flag.String("checkpoint", "", "journal path for -soak; written after every chunk so a killed soak can -resume")
+		resume   = flag.Bool("resume", false, "continue a -soak run from its -checkpoint journal instead of starting fresh")
+		soakstop = flag.Int("soakstop", 0, "stop the soak at the first chunk boundary at or after this many units (0 = run to completion)")
+		seed     = flag.Uint64("seed", 1, "fault-plan seed for -faults and -soak; same seed = byte-identical report at any -parallel")
 		rates    = flag.String("rates", "", "comma-separated fault rates for -faults (default 0,0.02,0.05,0.10)")
 		profile  = flag.Bool("profile", false, "per-function mCPI attribution and i-cache conflict heatmap per version")
 		top      = flag.Int("top", 10, "functions listed per version in -profile output")
@@ -82,6 +91,38 @@ func main() {
 	}
 
 	switch {
+	case *soakrun:
+		cfg := repro.DefaultSoak(kind, *seed)
+		if *quality == "paper" {
+			cfg.BatchesPerCell = 10
+			cfg.BatchRoundtrips = 24
+		}
+		cfg.CheckpointPath = *chkpoint
+		cfg.StopAfterUnits = *soakstop
+		run := repro.Soak
+		if *resume {
+			run = repro.ResumeSoak
+		}
+		res, err := run(cfg)
+		check(err)
+		fmt.Println(repro.SoakReport(res))
+		if res.Stopped {
+			// A partial soak exports nothing: the document describes a
+			// completed schedule, and the journal already holds the rest.
+			if *jsonPath != "" {
+				fmt.Fprintf(os.Stderr, "soak stopped early; no JSON written (resume with -resume -checkpoint %s)\n", *chkpoint)
+			}
+			return
+		}
+		// The manifest's quality block records the soak's own batch shape
+		// (export reads q through the closure).
+		q = repro.Quality{Warmup: cfg.Warmup, Measured: cfg.BatchRoundtrips, Samples: cfg.BatchesPerCell}
+		export(fmt.Sprintf("protolat -soak -stack %s -seed %d -quality %s", stackName(kind), *seed, *quality), *seed,
+			func(doc *repro.Document) error {
+				doc.Soak = repro.SoakDocOf(res)
+				return nil
+			})
+
 	case *profile:
 		text, results, err := repro.ProfileReport(kind, q, *top)
 		check(err)
@@ -113,6 +154,11 @@ func main() {
 					return err
 				}
 				doc.FaultStudy = repro.FaultStudyDocOf(cfg, cells)
+				rcells, err := repro.RecoveryComparison(kind, *seed, cfg.Quality)
+				if err != nil {
+					return err
+				}
+				doc.FaultStudy.Recovery = repro.RecoveryDocOf(rcells)
 				return nil
 			})
 
@@ -133,7 +179,7 @@ func main() {
 		}
 
 	case *stack != "":
-		runOne(kind, *version, *samples, *classify, q, *jsonPath != "", export)
+		runOne(kind, *version, *samples, *classify, *policy, q, *jsonPath != "", export)
 
 	case *figure == 1:
 		text, err := repro.Figure1()
@@ -255,8 +301,8 @@ func gitDescribe() string {
 	return strings.TrimSpace(string(out))
 }
 
-func runOne(kind repro.StackKind, version string, samples int, classify bool, q repro.Quality,
-	profiled bool, export func(string, uint64, func(*repro.Document) error)) {
+func runOne(kind repro.StackKind, version string, samples int, classify bool, policy string,
+	q repro.Quality, profiled bool, export func(string, uint64, func(*repro.Document) error)) {
 	var ver repro.Version
 	found := false
 	for _, v := range repro.Versions() {
@@ -268,9 +314,15 @@ func runOne(kind repro.StackKind, version string, samples int, classify bool, q 
 		fmt.Fprintf(os.Stderr, "unknown version %q\n", version)
 		os.Exit(2)
 	}
+	rk, err := repro.ParseRecovery(policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	cfg := repro.DefaultConfig(kind, ver)
 	cfg.Warmup, cfg.Measured, cfg.Samples = q.Warmup, q.Measured, samples
 	cfg.UseClassifier = classify
+	cfg.Recovery = rk
 	cfg.Profile = profiled
 	res, err := repro.Run(cfg)
 	check(err)
@@ -280,7 +332,11 @@ func runOne(kind repro.StackKind, version string, samples int, classify bool, q 
 	fmt.Printf("  i-cache %v | d-cache/wb %v | b-cache %v\n", s.ICache, s.DCache, s.BCache)
 	fmt.Printf("  phases: wire %.1f us | controller %.1f us | processing %.1f us | timer wait %.1f us\n",
 		s.Phases.WireUS, s.Phases.ControllerUS, s.Phases.ProcessUS, s.Phases.TimerWaitUS)
-	export(fmt.Sprintf("protolat -stack %s -version %v -samples %d", stackName(kind), ver, samples), 0,
+	command := fmt.Sprintf("protolat -stack %s -version %v -samples %d", stackName(kind), ver, samples)
+	if policy != "" {
+		command += " -policy " + string(rk)
+	}
+	export(command, 0,
 		func(doc *repro.Document) error {
 			doc.Runs = []repro.RunExport{repro.RunDoc(res)}
 			return nil

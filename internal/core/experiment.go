@@ -12,6 +12,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/protocols/features"
+	"repro/internal/protocols/recovery"
 	"repro/internal/protocols/rpc"
 	"repro/internal/protocols/tcpip"
 	"repro/internal/protocols/wire"
@@ -45,6 +46,12 @@ type Config struct {
 	// Each sample derives its own seed from (plan seed, sample index), so
 	// parallel runs remain byte-identical to serial ones.
 	Faults *faults.Plan
+
+	// Recovery selects the transport retransmission-timer policy on both
+	// hosts (TCP RTO, or the CHAN call timer for the RPC stack). Empty
+	// means recovery.Fixed, the historical behavior; on fault-free runs
+	// every policy is cycle-identical because the timer never fires.
+	Recovery recovery.Kind
 
 	// Profile, when set, attaches a per-function attribution collector to
 	// the client over the traced path invocation, filling Sample.Profile.
@@ -134,6 +141,9 @@ type FaultStats struct {
 	// RPC stack), connections aborted (or BLAST reassemblies abandoned),
 	// and checksum rejections observed by the protocols.
 	Retransmits, Aborts, ChecksumErrs int
+	// FastRetransmits counts TCP retransmissions triggered by duplicate
+	// ACKs rather than a timer expiry (always 0 for the RPC stack).
+	FastRetransmits int
 }
 
 // Add accumulates another run's stats.
@@ -146,6 +156,7 @@ func (f *FaultStats) Add(o FaultStats) {
 	f.Retransmits += o.Retransmits
 	f.Aborts += o.Aborts
 	f.ChecksumErrs += o.ChecksumErrs
+	f.FastRetransmits += o.FastRetransmits
 }
 
 // Result aggregates an experiment's samples.
@@ -348,6 +359,10 @@ func buildPair(cfg Config, sampleIdx, roundtrips int) (*hostPair, error) {
 	case StackRPC:
 		client := rpc.Build(ch, link, wire.MACAddr{8, 0, 0x2b, 1, 1, 1}, 0x0a000001, 0x0a000002, cfg.Feat, false, roundtrips)
 		server := rpc.Build(sh, link, wire.MACAddr{8, 0, 0x2b, 2, 2, 2}, 0x0a000002, 0x0a000001, cfg.Feat, true, 0)
+		if cfg.Recovery != "" {
+			client.SetRecovery(cfg.Recovery)
+			server.SetRecovery(cfg.Recovery)
+		}
 		rpc.Connect(client, server)
 		if cfg.UseClassifier && (cfg.Version == PIN || cfg.Version == ALL) {
 			cl := classifier.ForRPC()
@@ -370,6 +385,10 @@ func buildPair(cfg Config, sampleIdx, roundtrips int) (*hostPair, error) {
 	default:
 		client := tcpip.Build(ch, link, wire.MACAddr{8, 0, 0x2b, 1, 1, 1}, 0xc0a80001, cfg.Feat, false, roundtrips)
 		server := tcpip.Build(sh, link, wire.MACAddr{8, 0, 0x2b, 2, 2, 2}, 0xc0a80002, cfg.Feat, true, 0)
+		if cfg.Recovery != "" {
+			client.SetRecovery(cfg.Recovery)
+			server.SetRecovery(cfg.Recovery)
+		}
 		tcpip.Connect(client, server)
 		if cfg.UseClassifier && (cfg.Version == PIN || cfg.Version == ALL) {
 			cl := classifier.ForTCPIP()
@@ -384,6 +403,7 @@ func buildPair(cfg Config, sampleIdx, roundtrips int) (*hostPair, error) {
 		hp.faultStats = func() FaultStats {
 			fs := linkStats()
 			fs.Retransmits = client.TCP.Retransmits + server.TCP.Retransmits
+			fs.FastRetransmits = client.TCP.FastRetransmits + server.TCP.FastRetransmits
 			fs.Aborts = client.TCP.Aborts + server.TCP.Aborts
 			fs.ChecksumErrs = client.TCP.ChecksumErrs + server.TCP.ChecksumErrs +
 				client.IP.ChecksumErrs + server.IP.ChecksumErrs

@@ -297,5 +297,12 @@ func RunFaultStudy(cfg FaultStudyConfig) (string, error) {
 	fmt.Fprintf(&b, "link totals (all cells): %d frames = %d delivered + %d dropped - %d duplicated; %d corrupted, %d reordered in transit\n",
 		total.LinkFrames, total.LinkDelivered, total.LinkDropped, total.LinkDuplicated,
 		inj.Corrupted, inj.Reordered)
+
+	rcells, err := RecoveryComparison(cfg.Stack, cfg.Seed, cfg.Quality)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString("\n")
+	b.WriteString(RenderRecoveryTable(rcells))
 	return b.String(), nil
 }

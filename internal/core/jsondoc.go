@@ -106,9 +106,10 @@ func FaultStudyDocOf(cfg FaultStudyConfig, cells []FaultCell) *obs.FaultStudyDoc
 				Jittered:   inj.Jittered,
 			},
 			Recovery: obs.RecoveryDoc{
-				Retransmits:    c.Stats.Retransmits,
-				Aborts:         c.Stats.Aborts,
-				ChecksumErrors: c.Stats.ChecksumErrs,
+				Retransmits:     c.Stats.Retransmits,
+				Aborts:          c.Stats.Aborts,
+				ChecksumErrors:  c.Stats.ChecksumErrs,
+				FastRetransmits: c.Stats.FastRetransmits,
 			},
 		})
 	}

@@ -36,6 +36,14 @@ func Parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// ForEachIndexed runs fn(0) .. fn(n-1) on a pool of at most workers
+// goroutines and returns the lowest-index error — the deterministic fan-out
+// primitive every driver in this package uses, exported for external drivers
+// (the soak harness) that need the same identical-at-any-width guarantee.
+func ForEachIndexed(n, workers int, fn func(int) error) error {
+	return forEachIndexed(n, workers, fn)
+}
+
 // forEachIndexed runs fn(0) .. fn(n-1) on a pool of at most workers
 // goroutines and returns the lowest-index error. With workers <= 1 it
 // degenerates to the plain serial loop (stopping at the first error, whose

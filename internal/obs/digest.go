@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Digest is a streaming latency distribution over uint64 cycle values: a
+// log-spaced integer histogram with exact count/sum/min/max. Bins are 16
+// sub-buckets per octave (relative width 1/16, so quantile estimates are
+// within ~4.5% of the exact value), values below 32 get identity bins, and
+// the bin layout is a pure function of the value — no per-digest centroids
+// or adaptive state. That makes Merge exact and commutative, which is what
+// the soak harness needs: per-unit digests computed by a worker pool fold
+// into the same bytes in any grouping, and a digest checkpointed to the
+// journal resumes losslessly. The struct marshals as stable JSON (bins
+// sparse, ascending).
+type Digest struct {
+	Count     uint64      `json:"count"`
+	SumCycles uint64      `json:"sum_cycles"`
+	MinCycles uint64      `json:"min_cycles"`
+	MaxCycles uint64      `json:"max_cycles"`
+	Bins      []DigestBin `json:"bins,omitempty"`
+}
+
+// DigestBin is one occupied histogram bin.
+type DigestBin struct {
+	Bin   int    `json:"bin"`
+	Count uint64 `json:"count"`
+}
+
+// digestBin maps a value to its bin index: identity below 32, then 16
+// log-spaced sub-buckets per octave (bin 32 starts the [32,64) octave).
+func digestBin(v uint64) int {
+	if v < 32 {
+		return int(v)
+	}
+	msb := bits.Len64(v) - 1 // >= 5
+	return 32 + (msb-5)*16 + int((v>>(msb-4))&15)
+}
+
+// digestBinLow is the smallest value mapping to bin (the inverse of
+// digestBin's truncation).
+func digestBinLow(bin int) uint64 {
+	if bin < 32 {
+		return uint64(bin)
+	}
+	oct := (bin - 32) / 16
+	sub := uint64((bin - 32) % 16)
+	return 1<<(oct+5) + sub<<(oct+1)
+}
+
+// digestBinWidth is the number of distinct values mapping to bin.
+func digestBinWidth(bin int) uint64 {
+	if bin < 32 {
+		return 1
+	}
+	return 1 << ((bin-32)/16 + 1)
+}
+
+// Add records one value.
+func (d *Digest) Add(v uint64) {
+	if d.Count == 0 || v < d.MinCycles {
+		d.MinCycles = v
+	}
+	if v > d.MaxCycles {
+		d.MaxCycles = v
+	}
+	d.Count++
+	d.SumCycles += v
+	d.addBin(digestBin(v), 1)
+}
+
+// addBin bumps bin's count, keeping Bins sorted and sparse.
+func (d *Digest) addBin(bin int, n uint64) {
+	lo, hi := 0, len(d.Bins)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.Bins[mid].Bin < bin {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(d.Bins) && d.Bins[lo].Bin == bin {
+		d.Bins[lo].Count += n
+		return
+	}
+	d.Bins = append(d.Bins, DigestBin{})
+	copy(d.Bins[lo+1:], d.Bins[lo:])
+	d.Bins[lo] = DigestBin{Bin: bin, Count: n}
+}
+
+// Merge folds another digest into d. Merge is exact (bin counts add) and
+// commutative: any merge order over the same set of Add calls yields an
+// identical Digest.
+func (d *Digest) Merge(o Digest) {
+	if o.Count == 0 {
+		return
+	}
+	if d.Count == 0 || o.MinCycles < d.MinCycles {
+		d.MinCycles = o.MinCycles
+	}
+	if o.MaxCycles > d.MaxCycles {
+		d.MaxCycles = o.MaxCycles
+	}
+	d.Count += o.Count
+	d.SumCycles += o.SumCycles
+	for _, b := range o.Bins {
+		d.addBin(b.Bin, b.Count)
+	}
+}
+
+// Quantile returns a representative value for the q-quantile (0 < q <= 1):
+// the midpoint of the nearest-rank bin, clamped to the exact [Min,Max]
+// range. Within ~4.5% of the exact order statistic; exact for values < 32.
+func (d *Digest) Quantile(q float64) uint64 {
+	if d.Count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(d.Count)))
+	if rank > 0 {
+		rank-- // nearest-rank, 0-based
+	}
+	var cum uint64
+	for _, b := range d.Bins {
+		cum += b.Count
+		if cum > rank {
+			v := digestBinLow(b.Bin) + digestBinWidth(b.Bin)/2
+			if v < d.MinCycles {
+				v = d.MinCycles
+			}
+			if v > d.MaxCycles {
+				v = d.MaxCycles
+			}
+			return v
+		}
+	}
+	return d.MaxCycles
+}
+
+// MeanCycles is the exact mean (0 for an empty digest).
+func (d *Digest) MeanCycles() float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	return float64(d.SumCycles) / float64(d.Count)
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestDigestBinLayout checks the bin function's structure: identity below
+// 32, contiguity across octave boundaries, monotonicity, and that
+// digestBinLow/digestBinWidth exactly invert it.
+func TestDigestBinLayout(t *testing.T) {
+	for v := uint64(0); v < 32; v++ {
+		if got := digestBin(v); got != int(v) {
+			t.Fatalf("digestBin(%d) = %d, want identity", v, got)
+		}
+	}
+	// Octave starts: 32 -> first log bin, 64 -> next octave's first bin.
+	if digestBin(32) != 32 || digestBin(63) != 47 || digestBin(64) != 48 {
+		t.Fatalf("octave boundaries off: bin(32)=%d bin(63)=%d bin(64)=%d",
+			digestBin(32), digestBin(63), digestBin(64))
+	}
+	prev := -1
+	for _, v := range []uint64{0, 1, 31, 32, 33, 47, 48, 63, 64, 100, 1000, 1 << 20, 1<<40 + 12345, 1 << 62} {
+		b := digestBin(v)
+		if b < prev {
+			t.Fatalf("digestBin not monotone at %d", v)
+		}
+		prev = b
+		lo, w := digestBinLow(b), digestBinWidth(b)
+		if v < lo || v >= lo+w {
+			t.Fatalf("value %d outside its bin %d range [%d,%d)", v, b, lo, lo+w)
+		}
+		if digestBin(lo) != b || digestBin(lo+w-1) != b || (lo > 0 && digestBin(lo-1) == b) {
+			t.Fatalf("bin %d bounds [%d,%d) not exact", b, lo, lo+w)
+		}
+	}
+}
+
+// TestDigestMergeCommutes verifies the property the soak harness depends
+// on: folding per-unit digests in any grouping yields identical structs.
+func TestDigestMergeCommutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]uint64, 500)
+	for i := range vals {
+		vals[i] = uint64(rng.Int63n(1 << uint(5+rng.Intn(40))))
+	}
+	var serial Digest
+	for _, v := range vals {
+		serial.Add(v)
+	}
+	// Split into uneven chunks, merge in reverse order.
+	var parts []Digest
+	for i := 0; i < len(vals); {
+		n := 1 + (i*13)%37
+		if i+n > len(vals) {
+			n = len(vals) - i
+		}
+		var d Digest
+		for _, v := range vals[i : i+n] {
+			d.Add(v)
+		}
+		parts = append(parts, d)
+		i += n
+	}
+	var merged Digest
+	for i := len(parts) - 1; i >= 0; i-- {
+		merged.Merge(parts[i])
+	}
+	if !reflect.DeepEqual(serial, merged) {
+		t.Fatalf("merge order changed the digest:\nserial %+v\nmerged %+v", serial, merged)
+	}
+}
+
+// TestDigestQuantileAccuracy bounds the quantile error against the exact
+// order statistics: within one sub-bucket width (1/16 octave, ~6.7%
+// two-sided) and exactly clamped to min/max at the extremes.
+func TestDigestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]uint64, 2000)
+	var d Digest
+	for i := range vals {
+		vals[i] = 100_000 + uint64(rng.Int63n(5_000_000))
+		d.Add(vals[i])
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(float64(len(vals))*q)-1]
+		got := d.Quantile(q)
+		lo, hi := float64(exact)*0.93, float64(exact)*1.07
+		if float64(got) < lo || float64(got) > hi {
+			t.Errorf("q%.3f: digest %d vs exact %d (>7%% off)", q, got, exact)
+		}
+	}
+	if d.Quantile(1) > d.MaxCycles || d.Quantile(0.0001) < d.MinCycles {
+		t.Fatalf("quantiles escaped [min,max]")
+	}
+	if d.MinCycles != vals[0] || d.MaxCycles != vals[len(vals)-1] || d.Count != uint64(len(vals)) {
+		t.Fatalf("exact stats wrong: %+v", d)
+	}
+}
+
+// TestDigestSmallExact: values below 32 are binned exactly, so quantiles of
+// a small-value population are exact order statistics.
+func TestDigestSmallExact(t *testing.T) {
+	var d Digest
+	for _, v := range []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+		d.Add(v)
+	}
+	if d.Quantile(0.5) != 5 || d.Quantile(0.9) != 9 || d.Quantile(1) != 10 {
+		t.Fatalf("small-value quantiles not exact: p50=%d p90=%d p100=%d",
+			d.Quantile(0.5), d.Quantile(0.9), d.Quantile(1))
+	}
+	if d.MeanCycles() != 5.5 {
+		t.Fatalf("mean = %v, want 5.5", d.MeanCycles())
+	}
+}

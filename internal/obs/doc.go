@@ -185,6 +185,26 @@ type RecoveryDoc struct {
 	Retransmits    int `json:"retransmits"`
 	Aborts         int `json:"aborts"`
 	ChecksumErrors int `json:"checksum_errors"`
+	// FastRetransmits counts duplicate-ACK-triggered TCP retransmissions
+	// (0 for timer-only policies and for the RPC stack).
+	FastRetransmits int `json:"fast_retransmits,omitempty"`
+}
+
+// RecoveryCellDoc is one (policy, rate) cell of the recovery-policy
+// comparison: tail latencies of the clean and degraded roundtrip
+// populations under a pure Bernoulli loss plan shared across policies.
+type RecoveryCellDoc struct {
+	Policy          string  `json:"policy"`
+	Rate            float64 `json:"rate"`
+	CleanRT         int     `json:"clean_rt"`
+	DegradedRT      int     `json:"degraded_rt"`
+	CleanP50US      float64 `json:"clean_p50_us"`
+	CleanP99US      float64 `json:"clean_p99_us"`
+	DegradedP50US   float64 `json:"degraded_p50_us"`
+	DegradedP99US   float64 `json:"degraded_p99_us"`
+	DegradedMeanUS  float64 `json:"degraded_mean_us"`
+	Retransmits     int     `json:"retransmits"`
+	FastRetransmits int     `json:"fast_retransmits"`
 }
 
 // FaultCellDoc is one (version, rate) cell of the fault study, with the
@@ -207,6 +227,56 @@ type FaultCellDoc struct {
 type FaultStudyDoc struct {
 	Stack string         `json:"stack"`
 	Cells []FaultCellDoc `json:"cells"`
+	// Recovery, when present, is the fixed-vs-adaptive retransmission
+	// policy comparison run alongside the study.
+	Recovery []RecoveryCellDoc `json:"recovery,omitempty"`
+}
+
+// LatencyDoc summarizes one roundtrip population's latency distribution:
+// digest-derived tail percentiles plus the exact count, mean and extremes.
+type LatencyDoc struct {
+	Roundtrips uint64  `json:"roundtrips"`
+	P50US      float64 `json:"p50_us"`
+	P90US      float64 `json:"p90_us"`
+	P99US      float64 `json:"p99_us"`
+	P999US     float64 `json:"p999_us"`
+	MeanUS     float64 `json:"mean_us"`
+	MinUS      float64 `json:"min_us"`
+	MaxUS      float64 `json:"max_us"`
+}
+
+// SoakCellDoc is one (regime, policy, version) cell of a soak run: the full
+// and degraded-only latency distributions plus the accumulated fault and
+// recovery counters.
+type SoakCellDoc struct {
+	Regime   string      `json:"regime"`
+	Policy   string      `json:"policy"`
+	Version  string      `json:"version"`
+	Units    int         `json:"units"`
+	All      LatencyDoc  `json:"all"`
+	Degraded LatencyDoc  `json:"degraded"`
+	Injected InjectedDoc `json:"injected"`
+	Recovery RecoveryDoc `json:"recovery"`
+}
+
+// SoakChecksDoc counts the invariant checks a soak run performed — exported
+// so a report claiming N units can be audited for actually having run the
+// per-unit verifications N times.
+type SoakChecksDoc struct {
+	Units           int `json:"units"`
+	FrameAccounting int `json:"frame_accounting"`
+	Reconciliation  int `json:"reconciliation"`
+}
+
+// SoakDoc is the structured form of a soak run. Whether the run was
+// interrupted and resumed is deliberately NOT recorded: a resumed soak's
+// document must be byte-identical to an uninterrupted one's (a tested
+// invariant), so execution history cannot appear here.
+type SoakDoc struct {
+	Stack  string        `json:"stack"`
+	Units  int           `json:"units"`
+	Checks SoakChecksDoc `json:"checks"`
+	Cells  []SoakCellDoc `json:"cells"`
 }
 
 // Document is the root of a protolat JSON export: the manifest plus
@@ -217,6 +287,7 @@ type Document struct {
 	Figures    []Figure       `json:"figures,omitempty"`
 	Runs       []Run          `json:"runs,omitempty"`
 	FaultStudy *FaultStudyDoc `json:"fault_study,omitempty"`
+	Soak       *SoakDoc       `json:"soak,omitempty"`
 }
 
 // Marshal renders the document as indented JSON with a trailing newline.

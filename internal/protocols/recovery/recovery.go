@@ -1,0 +1,206 @@
+// Package recovery provides pluggable retransmission-recovery policies
+// shared by the transports (TCP and the RPC CHAN protocol): the historical
+// fixed timeout the paper's apparatus used, and a Jacobson/Karn adaptive
+// estimator (SRTT/RTTVAR with exponential backoff and min/max clamps).
+//
+// A Policy manufactures per-connection Timers; the transport consults the
+// timer for the current RTO when arming its retransmission event, reports
+// timeouts so backoff can accumulate, and reports acknowledgments with a
+// "clean" bit implementing Karn's rule — only exchanges that were never
+// retransmitted contribute RTT samples. All arithmetic is integer and
+// state-machine local, so timer behavior is bit-for-bit deterministic and
+// independent of worker-pool width.
+package recovery
+
+import "fmt"
+
+// Kind names a recovery-policy family for configuration surfaces.
+type Kind string
+
+// The built-in policy kinds.
+const (
+	// Fixed is the historical behavior: a constant base RTO, optionally
+	// doubled on every timeout and reset on any acknowledgment.
+	Fixed Kind = "fixed"
+	// Adaptive is the Jacobson/Karn estimator with backoff and clamps.
+	Adaptive Kind = "adaptive"
+)
+
+// ParseKind maps a user-supplied policy name to a Kind; the empty string
+// selects Fixed (the historical default).
+func ParseKind(s string) (Kind, error) {
+	switch Kind(s) {
+	case "", Fixed:
+		return Fixed, nil
+	case Adaptive:
+		return Adaptive, nil
+	}
+	return "", fmt.Errorf("recovery: unknown policy %q (want fixed or adaptive)", s)
+}
+
+// Timer is one connection's retransmission-timeout state machine. It is
+// pure bookkeeping: the transport owns the actual event scheduling and
+// calls in with what happened.
+type Timer interface {
+	// RTO returns the timeout, in cycles, to arm the next retransmission
+	// event with.
+	RTO() uint64
+	// OnAck records an acknowledged exchange. rtt is the measured
+	// request-to-ack time in cycles; clean reports that no segment of the
+	// exchange was ever retransmitted. Karn's rule: only clean exchanges
+	// may be sampled, and only a clean ack resets accumulated backoff.
+	OnAck(rtt uint64, clean bool)
+	// OnTimeout records a retransmission-timer expiry (backoff input).
+	OnTimeout()
+}
+
+// Policy manufactures per-connection timers.
+type Policy interface {
+	// Kind names the policy family.
+	Kind() Kind
+	// NewTimer returns fresh per-connection timer state.
+	NewTimer() Timer
+}
+
+// FixedPolicy reproduces the historical transports exactly: RTO starts at
+// Base; when Double is set each timeout doubles it (TCP's blind backoff)
+// and any ack resets it to Base; without Double the RTO is constant (the
+// CHAN protocol's behavior).
+type FixedPolicy struct {
+	Base   uint64
+	Double bool
+}
+
+// Kind implements Policy.
+func (p FixedPolicy) Kind() Kind { return Fixed }
+
+// NewTimer implements Policy.
+func (p FixedPolicy) NewTimer() Timer { return &fixedTimer{p: p, cur: p.Base} }
+
+type fixedTimer struct {
+	p   FixedPolicy
+	cur uint64
+}
+
+func (t *fixedTimer) RTO() uint64 { return t.cur }
+
+func (t *fixedTimer) OnAck(rtt uint64, clean bool) { t.cur = t.p.Base }
+
+func (t *fixedTimer) OnTimeout() {
+	if t.p.Double {
+		t.cur *= 2
+	}
+}
+
+// AdaptivePolicy is the Jacobson/Karn estimator: RTO = SRTT + 4·RTTVAR
+// from clean RTT samples, exponentially backed off while timeouts
+// accumulate, clamped to [Min, Max]. Before the first sample the timer
+// runs from Init (also clamped), so a freshly opened connection behaves
+// like the fixed policy until it has evidence.
+type AdaptivePolicy struct {
+	// Init seeds the pre-sample RTO (typically the fixed policy's base).
+	Init uint64
+	// Min and Max clamp the computed RTO, backoff included. Min guards
+	// against spurious retransmissions when the estimator converges near
+	// the true RTT; Max bounds how long a dead interval can silence the
+	// connection.
+	Min, Max uint64
+}
+
+// Kind implements Policy.
+func (p AdaptivePolicy) Kind() Kind { return Adaptive }
+
+// NewTimer implements Policy.
+func (p AdaptivePolicy) NewTimer() Timer { return &adaptiveTimer{p: p} }
+
+// maxBackoffShift bounds the exponential backoff exponent; with the Max
+// clamp in place anything past 2^16 is indistinguishable anyway.
+const maxBackoffShift = 16
+
+type adaptiveTimer struct {
+	p     AdaptivePolicy
+	est   Estimator
+	shift uint // exponential-backoff exponent
+}
+
+func (t *adaptiveTimer) RTO() uint64 {
+	base := t.p.Init
+	if t.est.Seeded() {
+		base = t.est.RTO()
+	}
+	if base < t.p.Min {
+		base = t.p.Min
+	}
+	rto := base << t.shift
+	if t.shift > 0 && rto>>t.shift != base {
+		rto = t.p.Max // backoff overflowed: saturate
+	}
+	if t.p.Max > 0 && rto > t.p.Max {
+		rto = t.p.Max
+	}
+	return rto
+}
+
+func (t *adaptiveTimer) OnAck(rtt uint64, clean bool) {
+	if !clean {
+		// Karn's rule: the ack may be for the original transmission or
+		// any retransmission, so the sample is ambiguous — discard it,
+		// and keep the backed-off RTO until a clean exchange survives.
+		return
+	}
+	t.est.Sample(rtt)
+	t.shift = 0
+}
+
+func (t *adaptiveTimer) OnTimeout() {
+	if t.shift < maxBackoffShift {
+		t.shift++
+	}
+}
+
+// Estimator is the Jacobson SRTT/RTTVAR state, in cycles, with the
+// classic fixed-point gains (alpha = 1/8, beta = 1/4). The first sample
+// initializes SRTT to the sample and RTTVAR to half of it, per RFC 6298.
+type Estimator struct {
+	srtt   uint64
+	rttvar uint64
+	seeded bool
+}
+
+// Seeded reports whether at least one RTT sample has been recorded.
+func (e *Estimator) Seeded() bool { return e.seeded }
+
+// SRTT returns the smoothed round-trip time in cycles (0 before seeding).
+func (e *Estimator) SRTT() uint64 { return e.srtt }
+
+// RTTVAR returns the smoothed RTT deviation in cycles (0 before seeding).
+func (e *Estimator) RTTVAR() uint64 { return e.rttvar }
+
+// Sample folds one clean RTT measurement into the estimator.
+func (e *Estimator) Sample(rtt uint64) {
+	if !e.seeded {
+		e.srtt = rtt
+		e.rttvar = rtt / 2
+		e.seeded = true
+		return
+	}
+	var dev uint64
+	if rtt > e.srtt {
+		dev = rtt - e.srtt
+	} else {
+		dev = e.srtt - rtt
+	}
+	// RTTVAR = 3/4·RTTVAR + 1/4·|SRTT - R|; SRTT = 7/8·SRTT + 1/8·R.
+	// Written subtraction-first so unsigned arithmetic cannot underflow.
+	e.rttvar = e.rttvar - e.rttvar/4 + dev/4
+	e.srtt = e.srtt - e.srtt/8 + rtt/8
+}
+
+// RTO returns SRTT + 4·RTTVAR, the unclamped Jacobson timeout (0 before
+// seeding — callers fall back to their initial RTO).
+func (e *Estimator) RTO() uint64 {
+	if !e.seeded {
+		return 0
+	}
+	return e.srtt + 4*e.rttvar
+}

@@ -1,0 +1,175 @@
+package recovery
+
+import "testing"
+
+// TestParseKind covers the configuration surface, including the empty
+// string defaulting to the historical fixed policy.
+func TestParseKind(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kind
+		ok   bool
+	}{
+		{"", Fixed, true},
+		{"fixed", Fixed, true},
+		{"adaptive", Adaptive, true},
+		{"jacobson", "", false},
+	} {
+		got, err := ParseKind(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseKind(%q) succeeded; want error", tc.in)
+		}
+	}
+}
+
+// TestFixedMatchesHistoricalBehavior pins the fixed policy to what the
+// transports did before policies existed: TCP doubles on timeout and
+// resets on ack; CHAN re-arms at a constant timeout forever.
+func TestFixedMatchesHistoricalBehavior(t *testing.T) {
+	tcp := FixedPolicy{Base: 1000, Double: true}.NewTimer()
+	for i, want := range []uint64{1000, 2000, 4000, 8000} {
+		if got := tcp.RTO(); got != want {
+			t.Fatalf("doubling fixed timer: timeout %d RTO = %d, want %d", i, got, want)
+		}
+		tcp.OnTimeout()
+	}
+	tcp.OnAck(12345, false) // any ack resets, clean or not (historical)
+	if got := tcp.RTO(); got != 1000 {
+		t.Fatalf("fixed timer after ack: RTO = %d, want base 1000", got)
+	}
+
+	ch := FixedPolicy{Base: 500}.NewTimer()
+	for i := 0; i < 5; i++ {
+		ch.OnTimeout()
+	}
+	if got := ch.RTO(); got != 500 {
+		t.Fatalf("non-doubling fixed timer: RTO = %d, want constant 500", got)
+	}
+}
+
+// TestKarnRule verifies that retransmitted (non-clean) exchanges neither
+// feed the estimator nor reset accumulated backoff, while a clean ack
+// does both.
+func TestKarnRule(t *testing.T) {
+	tm := AdaptivePolicy{Init: 10_000, Min: 1, Max: 1 << 40}.NewTimer()
+	tm.OnTimeout()
+	tm.OnTimeout()
+	backedOff := tm.RTO()
+	if want := uint64(10_000 << 2); backedOff != want {
+		t.Fatalf("RTO after 2 timeouts = %d, want %d", backedOff, want)
+	}
+
+	// A non-clean ack: no sample, no backoff reset.
+	tm.OnAck(700, false)
+	if got := tm.RTO(); got != backedOff {
+		t.Fatalf("non-clean ack changed RTO %d -> %d (Karn violation)", backedOff, got)
+	}
+
+	// A clean ack: samples and resets backoff.
+	tm.OnAck(700, true)
+	want := uint64(700 + 4*350) // first sample: SRTT=R, RTTVAR=R/2
+	if got := tm.RTO(); got != want {
+		t.Fatalf("clean ack: RTO = %d, want %d (seeded, backoff cleared)", got, want)
+	}
+}
+
+// TestRTTVARConvergence feeds a deterministic jittered RTT series and
+// requires the estimator to settle near the series' center with an RTO
+// bracketing the observed jitter band.
+func TestRTTVARConvergence(t *testing.T) {
+	var e Estimator
+	const center = 100_000
+	// Deterministic jitter in [-5000, +5000], no RNG involved.
+	for i := 0; i < 256; i++ {
+		jitter := int64((i*2654435761)%10001) - 5000
+		e.Sample(uint64(center + jitter))
+	}
+	if !e.Seeded() {
+		t.Fatal("estimator not seeded")
+	}
+	if s := e.SRTT(); s < center-6000 || s > center+6000 {
+		t.Fatalf("SRTT = %d, want within ±6000 of %d", s, center)
+	}
+	// RTTVAR should reflect the jitter magnitude: well above zero, well
+	// below the center value.
+	if v := e.RTTVAR(); v < 500 || v > 20_000 {
+		t.Fatalf("RTTVAR = %d, want in [500, 20000] for ±5000 jitter", v)
+	}
+	// RTO covers the worst observed RTT but stays far below the fixed
+	// 200 ms-scale initial value the estimator is meant to replace.
+	if r := e.RTO(); r < center+5000 || r > 3*center {
+		t.Fatalf("RTO = %d, want in [%d, %d]", r, center+5000, 3*center)
+	}
+}
+
+// TestClampBounds drives the adaptive timer to both clamp edges and
+// through backoff-shift saturation.
+func TestClampBounds(t *testing.T) {
+	p := AdaptivePolicy{Init: 50_000, Min: 10_000, Max: 400_000}
+	tm := p.NewTimer()
+
+	// Tiny measured RTT: the Min clamp must hold the floor.
+	tm.OnAck(3, true)
+	if got := tm.RTO(); got != p.Min {
+		t.Fatalf("RTO with tiny RTT = %d, want Min %d", got, p.Min)
+	}
+
+	// Backoff past the ceiling: the Max clamp must cap it.
+	for i := 0; i < 10; i++ {
+		tm.OnTimeout()
+	}
+	if got := tm.RTO(); got != p.Max {
+		t.Fatalf("RTO after heavy backoff = %d, want Max %d", got, p.Max)
+	}
+
+	// Shift saturation: far past maxBackoffShift, including the territory
+	// where an unguarded shift would overflow 64 bits, RTO stays at Max.
+	for i := 0; i < 100; i++ {
+		tm.OnTimeout()
+	}
+	if got := tm.RTO(); got != p.Max {
+		t.Fatalf("RTO after saturated backoff = %d, want Max %d", got, p.Max)
+	}
+
+	// Recovery: one clean ack restores the sampled (clamped) RTO.
+	tm.OnAck(20_000, true)
+	if got := tm.RTO(); got < p.Min || got > p.Max {
+		t.Fatalf("RTO after recovery = %d, want within [%d, %d]", got, p.Min, p.Max)
+	}
+}
+
+// TestAdaptiveDeterminism runs two independent timers through an identical
+// event sequence and requires identical RTO trajectories — the property
+// the parallel soak harness leans on. Run under -race via `make check`.
+func TestAdaptiveDeterminism(t *testing.T) {
+	mk := func() Timer {
+		return AdaptivePolicy{Init: 35_000_000, Min: 350_000, Max: 35_000_000}.NewTimer()
+	}
+	a, b := mk(), mk()
+	feed := func(tm Timer) []uint64 {
+		var out []uint64
+		for i := 0; i < 64; i++ {
+			switch i % 5 {
+			case 0:
+				tm.OnTimeout()
+			case 1:
+				tm.OnAck(uint64(200_000+i*1000), true)
+			case 2:
+				tm.OnAck(uint64(900_000-i*700), false)
+			default:
+				tm.OnAck(uint64(240_000+(i*37)%9000), true)
+			}
+			out = append(out, tm.RTO())
+		}
+		return out
+	}
+	ra, rb := feed(a), feed(b)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("step %d: RTO diverged %d vs %d", i, ra[i], rb[i])
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package tcpip
+
+import (
+	"testing"
+
+	"repro/internal/protocols/features"
+	"repro/internal/protocols/recovery"
+	"repro/internal/protocols/wire"
+	"repro/internal/xkernel"
+)
+
+// TestAdaptiveCleanPathIdentical verifies the tentpole's zero-perturbation
+// property: on a fault-free run the recovery policy only changes the value
+// a never-firing timer is armed with, so every roundtrip stamp must be
+// cycle-identical between fixed and adaptive.
+func TestAdaptiveCleanPathIdentical(t *testing.T) {
+	run := func(kind recovery.Kind) []uint64 {
+		client, server, q := newPair(t, features.Improved(), false, 20)
+		client.SetRecovery(kind)
+		server.SetRecovery(kind)
+		runToCompletion(t, client, server, q, 100000)
+		return append([]uint64(nil), client.Test.Stamps...)
+	}
+	fixed := run(recovery.Fixed)
+	adaptive := run(recovery.Adaptive)
+	if len(fixed) != len(adaptive) || len(fixed) == 0 {
+		t.Fatalf("stamp counts differ: %d vs %d", len(fixed), len(adaptive))
+	}
+	for i := range fixed {
+		if fixed[i] != adaptive[i] {
+			t.Fatalf("roundtrip %d stamped %d (fixed) vs %d (adaptive); clean path must be cycle-identical",
+				i, fixed[i], adaptive[i])
+		}
+	}
+}
+
+// TestAdaptiveEstimatorConverges checks that a clean ping-pong leaves the
+// adaptive connection with an RTO derived from real samples: far below the
+// 200 ms initial value, at or above the 2 ms safety floor.
+func TestAdaptiveEstimatorConverges(t *testing.T) {
+	client, server, q := newPair(t, features.Improved(), false, 20)
+	client.SetRecovery(recovery.Adaptive)
+	server.SetRecovery(recovery.Adaptive)
+	runToCompletion(t, client, server, q, 100000)
+	rto := client.Test.Conn.rtimer.RTO()
+	if rto >= initialRTO {
+		t.Fatalf("adaptive RTO = %d cycles, still at/above initial %d — estimator never sampled", rto, initialRTO)
+	}
+	if rto < adaptiveMinRTO {
+		t.Fatalf("adaptive RTO = %d cycles, below the %d floor", rto, adaptiveMinRTO)
+	}
+}
+
+// TestFastRetransmitOnDupAcks feeds three duplicate pure ACKs to a
+// connection with outstanding data and expects exactly one immediate
+// retransmission, marked non-clean for Karn's rule.
+func TestFastRetransmitOnDupAcks(t *testing.T) {
+	client, server, q := newPair(t, features.Improved(), false, 2)
+	runToCompletion(t, client, server, q, 10000)
+	c := client.Test.Conn
+	tcp := client.TCP
+
+	// Fabricate outstanding data (the transmitted frame stays queued on
+	// the link; we never run the queue again).
+	if err := c.Send([]byte("outstanding")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if c.sndUna == c.sndNxt {
+		t.Fatal("no data outstanding after Send")
+	}
+	segsOut := tcp.SegsOut
+
+	h := &wire.TCPHeader{
+		SrcPort: c.RemotePort, DstPort: c.LocalPort,
+		Seq: c.rcvNxt, Ack: c.sndUna,
+		Flags: wire.TCPFlagACK, Window: defaultRcvWnd,
+	}
+	dupAck := func() {
+		if err := tcp.input(c, h, xkernel.NewMsgData(client.Host.Alloc, nil)); err != nil {
+			t.Fatalf("input: %v", err)
+		}
+	}
+
+	dupAck()
+	dupAck()
+	if tcp.FastRetransmits != 0 {
+		t.Fatalf("fast retransmit fired after %d dup ACKs; threshold is %d", c.dupAcks, tcpDupAckThreshold)
+	}
+	dupAck()
+	if tcp.FastRetransmits != 1 {
+		t.Fatalf("FastRetransmits = %d after third dup ACK, want 1", tcp.FastRetransmits)
+	}
+	if tcp.SegsOut != segsOut+1 {
+		t.Fatalf("SegsOut advanced by %d, want exactly the one resent segment", tcp.SegsOut-segsOut)
+	}
+	if c.retries == 0 {
+		t.Fatal("fast retransmit left retries at 0; the eventual ACK would be RTT-sampled (Karn violation)")
+	}
+	// A fourth duplicate must not re-trigger.
+	dupAck()
+	if tcp.FastRetransmits != 1 {
+		t.Fatalf("FastRetransmits = %d after fourth dup ACK, want still 1", tcp.FastRetransmits)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/protocols/features"
+	"repro/internal/protocols/recovery"
 	"repro/internal/protocols/wire"
 	"repro/internal/xkernel"
 )
@@ -37,8 +38,20 @@ const (
 	tcpMSS = 1460
 	// tcbBytes is the virtual size of a connection control block.
 	tcbBytes = 256
-	// initialRTO is the retransmission timeout (200 ms in cycles).
+	// initialRTO is the fixed-policy retransmission timeout (200 ms in
+	// cycles) and the adaptive policy's pre-sample starting point.
 	initialRTO = 200_000 * netsim.CyclesPerMicrosecond
+	// adaptiveMinRTO floors the adaptive policy's RTO at 2 ms — several
+	// times the worst (BAD-version) simulated roundtrip, so a converged
+	// estimator can never fire a spurious retransmission into a healthy
+	// clean-path exchange.
+	adaptiveMinRTO = 2_000 * netsim.CyclesPerMicrosecond
+	// adaptiveMaxRTO caps adaptive backoff at the fixed policy's initial
+	// timeout: adaptive recovery never waits longer than fixed recovery's
+	// very first retry.
+	adaptiveMaxRTO = initialRTO
+	// tcpDupAckThreshold is the fast-retransmit trigger (RFC 5681 §3.2).
+	tcpDupAckThreshold = 3
 	// defaultRcvWnd is the advertised receive window.
 	defaultRcvWnd = 16 * 1024
 	// DefaultMaxRetransmits caps consecutive retransmissions of one
@@ -46,6 +59,26 @@ const (
 	// spirit, scaled to the simulation's short runs).
 	DefaultMaxRetransmits = 8
 )
+
+// FixedRecovery returns TCP's historical recovery policy: a 200 ms RTO
+// blindly doubled on every timeout and reset by any acknowledgment.
+func FixedRecovery() recovery.Policy {
+	return recovery.FixedPolicy{Base: initialRTO, Double: true}
+}
+
+// AdaptiveRecovery returns TCP's Jacobson/Karn policy: RTO follows
+// SRTT + 4·RTTVAR with exponential backoff, clamped to [2 ms, 200 ms].
+func AdaptiveRecovery() recovery.Policy {
+	return recovery.AdaptivePolicy{Init: initialRTO, Min: adaptiveMinRTO, Max: adaptiveMaxRTO}
+}
+
+// PolicyFor maps a policy kind to TCP's parameterization of it.
+func PolicyFor(kind recovery.Kind) recovery.Policy {
+	if kind == recovery.Adaptive {
+		return AdaptiveRecovery()
+	}
+	return FixedRecovery()
+}
 
 // App is the layer above TCP (the test protocol): it is notified when a
 // connection reaches the established state and when data arrives.
@@ -69,9 +102,15 @@ type TCP struct {
 	// negative disables the cap).
 	MaxRetransmits int
 
+	// Policy selects the recovery policy new connections get their
+	// retransmission timers from; nil means FixedRecovery, the historical
+	// behavior (see Stack.SetRecovery).
+	Policy recovery.Policy
+
 	// Counters for tests and CPU-utilization reporting.
 	SegsIn, SegsOut   int
 	Retransmits       int
+	FastRetransmits   int
 	Aborts            int
 	ChecksumErrs      int
 	DupSegs           int
@@ -132,8 +171,10 @@ type TCB struct {
 	app App
 
 	retrans     *xkernel.TimerEvent
-	rto         uint64
+	rtimer      recovery.Timer
 	retries     int // consecutive retransmissions of the unacked segment
+	dupAcks     int // consecutive duplicate ACKs for sndUna
+	sentAt      uint64
 	unackedSeq  uint32
 	unackedData []byte
 	unackedFlag uint8
@@ -172,21 +213,37 @@ func (t *TCP) Listen(port uint16, app App) {
 	t.listeners[port] = app
 }
 
-// Open actively opens a connection and sends the initial SYN; the app is
-// notified via Established when the handshake completes.
-func (t *TCP) Open(lport, rport uint16, raddr wire.IPAddr, app App) *TCB {
+// policy returns the recovery policy new connections use.
+func (t *TCP) policy() recovery.Policy {
+	if t.Policy != nil {
+		return t.Policy
+	}
+	return FixedRecovery()
+}
+
+// newConn allocates, initializes and binds a connection control block —
+// the single seam both open paths (active and passive) share, and where
+// the recovery policy hands out the connection's retransmission timer.
+func (t *TCP) newConn(state TCPState, lport, rport uint16, raddr wire.IPAddr, app App) *TCB {
 	t.connectionsOpened++
 	c := &TCB{
-		T: t, State: StateSynSent,
+		T: t, State: state,
 		LocalPort: lport, RemotePort: rport, RemoteAddr: raddr,
 		iss:    uint32(t.connectionsOpened) * 64000,
 		rcvWnd: defaultRcvWnd, cwnd: tcpMSS, ssthresh: 64 * 1024,
-		rto: initialRTO, app: app,
+		rtimer: t.policy().NewTimer(), app: app,
 		VAddr: t.H.Alloc.Alloc(tcbBytes),
 	}
 	c.sndNxt = c.iss
 	c.sndUna = c.iss
 	t.pcbs.Bind(pcbKey(lport, rport, raddr), c)
+	return c
+}
+
+// Open actively opens a connection and sends the initial SYN; the app is
+// notified via Established when the handshake completes.
+func (t *TCP) Open(lport, rport uint16, raddr wire.IPAddr, app App) *TCB {
+	c := t.newConn(StateSynSent, lport, rport, raddr, app)
 	c.sendSegment(wire.TCPFlagSYN, nil, true)
 	return c
 }
@@ -272,6 +329,7 @@ func (c *TCB) sendSegment(flags uint8, payload []byte, retain bool) {
 		c.unackedSeq = c.sndNxt
 		c.unackedData = append([]byte(nil), payload...)
 		c.unackedFlag = flags
+		c.sentAt = t.H.Queue.Now() // RTT sample origin (first transmission)
 		c.armRetransmit()
 	}
 	c.sndNxt += consumed
@@ -289,11 +347,12 @@ func (c *TCB) armRetransmit() {
 		c.retrans.Cancel()
 	}
 	t := c.T
-	c.retrans = t.H.Queue.Schedule(c.rto, func() { t.retransmit(c) })
+	c.retrans = t.H.Queue.Schedule(c.rtimer.RTO(), func() { t.retransmit(c) })
 }
 
-// retransmit resends the unacknowledged segment with exponential backoff,
-// aborting the connection once the retry cap is exhausted.
+// retransmit resends the unacknowledged segment, backing the timer off
+// through the recovery policy and aborting the connection once the retry
+// cap is exhausted.
 func (t *TCP) retransmit(c *TCB) {
 	if c.sndUna == c.sndNxt || c.unackedData == nil && c.unackedFlag == 0 {
 		return
@@ -309,7 +368,31 @@ func (t *TCP) retransmit(c *TCB) {
 	// Congestion response: ssthresh halves, window closes.
 	c.ssthresh = max32(c.cwnd/2, tcpMSS)
 	c.cwnd = tcpMSS
-	c.rto *= 2
+	c.rtimer.OnTimeout()
+	c.dupAcks = 0
+	saveNxt := c.sndNxt
+	c.sndNxt = c.unackedSeq
+	c.sendSegment(c.unackedFlag, c.unackedData, false)
+	c.sndNxt = saveNxt
+	c.armRetransmit()
+}
+
+// fastRetransmit resends the oldest unacknowledged segment immediately on
+// the third duplicate ACK (RFC 5681 §3.2): the duplicate-ACK stream is
+// evidence the network is still delivering, so there is no reason to sit
+// out the rest of the RTO. The timer is re-armed at the current RTO
+// without backoff. It runs inside the ACK's input event, so no model cost
+// is charged beyond the input path already accounted for.
+func (t *TCP) fastRetransmit(c *TCB) {
+	if c.unackedData == nil && c.unackedFlag == 0 {
+		return
+	}
+	t.FastRetransmits++
+	// Karn's rule: the exchange now has a retransmitted segment, so the
+	// eventual ACK must not be RTT-sampled. retries carries that mark
+	// (and keeps the abort cap honest).
+	c.retries++
+	c.ssthresh = max32(c.cwnd/2, tcpMSS)
 	saveNxt := c.sndNxt
 	c.sndNxt = c.unackedSeq
 	c.sendSegment(c.unackedFlag, c.unackedData, false)
@@ -401,20 +484,9 @@ func (t *TCP) passiveOpen(h *wire.TCPHeader, src wire.IPAddr) error {
 	if !ok {
 		return fmt.Errorf("tcp: connection refused on port %d", h.DstPort)
 	}
-	t.connectionsOpened++
-	c := &TCB{
-		T: t, State: StateSynRcvd,
-		LocalPort: h.DstPort, RemotePort: h.SrcPort, RemoteAddr: src,
-		iss:    uint32(t.connectionsOpened) * 64000,
-		rcvWnd: defaultRcvWnd, cwnd: tcpMSS, ssthresh: 64 * 1024,
-		rto: initialRTO, app: app,
-		VAddr: t.H.Alloc.Alloc(tcbBytes),
-	}
-	c.sndNxt = c.iss
-	c.sndUna = c.iss
+	c := t.newConn(StateSynRcvd, h.DstPort, h.SrcPort, src, app)
 	c.rcvNxt = h.Seq + 1
 	c.noteWindow(uint32(h.Window))
-	t.pcbs.Bind(pcbKey(c.LocalPort, c.RemotePort, src), c)
 	c.sendSegment(wire.TCPFlagSYN|wire.TCPFlagACK, nil, true)
 	return nil
 }
@@ -431,29 +503,44 @@ func (t *TCP) input(c *TCB, h *wire.TCPHeader, m *xkernel.Msg) error {
 	c.noteWindow(uint32(h.Window))
 
 	// ACK processing (sender-side housekeeping).
-	if h.Flags&wire.TCPFlagACK != 0 && seqGT(h.Ack, c.sndUna) {
-		c.sndUna = h.Ack
-		if c.sndUna == c.sndNxt {
-			if c.retrans != nil {
-				c.retrans.Cancel()
-				c.retrans = nil
+	if h.Flags&wire.TCPFlagACK != 0 {
+		switch {
+		case seqGT(h.Ack, c.sndUna):
+			c.dupAcks = 0
+			c.sndUna = h.Ack
+			if c.sndUna == c.sndNxt {
+				if c.retrans != nil {
+					c.retrans.Cancel()
+					c.retrans = nil
+				}
+				c.unackedData = nil
+				c.unackedFlag = 0
+				// Karn's rule: sample the exchange's RTT only if no
+				// part of it was ever retransmitted; a non-clean ack
+				// leaves the policy's backoff in place.
+				c.rtimer.OnAck(t.H.Queue.Now()-c.sentAt, c.retries == 0)
+				c.retries = 0
+				if c.OnAcked != nil {
+					c.OnAcked()
+				}
 			}
-			c.unackedData = nil
-			c.unackedFlag = 0
-			c.rto = initialRTO
-			c.retries = 0
-			if c.OnAcked != nil {
-				c.OnAcked()
+			c.updateCwnd()
+			if c.State == StateSynRcvd {
+				c.State = StateEstablished
+				c.app.Established(c)
 			}
-		}
-		c.updateCwnd()
-		if c.State == StateSynRcvd {
-			c.State = StateEstablished
-			c.app.Established(c)
-		}
-		if c.State == StateLastAck {
-			c.State = StateClosed
-			t.pcbs.Unbind(pcbKey(c.LocalPort, c.RemotePort, c.RemoteAddr))
+			if c.State == StateLastAck {
+				c.State = StateClosed
+				t.pcbs.Unbind(pcbKey(c.LocalPort, c.RemotePort, c.RemoteAddr))
+			}
+		case h.Ack == c.sndUna && c.sndUna != c.sndNxt && m.Len() == 0 &&
+			h.Flags&(wire.TCPFlagSYN|wire.TCPFlagFIN) == 0:
+			// A pure ACK that moves nothing while data is outstanding:
+			// a duplicate. Three in a row trigger fast retransmit.
+			c.dupAcks++
+			if c.dupAcks == tcpDupAckThreshold {
+				t.fastRetransmit(c)
+			}
 		}
 	}
 

@@ -1,0 +1,47 @@
+package soak
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// benchConfig is the quick-schedule soak without a journal: 64 units across
+// all four regimes, both policies, STD and ALL.
+func benchConfig() Config {
+	cfg := DefaultConfig(core.StackTCPIP, 11)
+	cfg.CheckpointPath = ""
+	return cfg
+}
+
+// BenchmarkSoakRun times one full quick-schedule soak per worker-pool width;
+// compare workers=1 against workers=N for the wall-clock speedup.
+func BenchmarkSoakRun(b *testing.B) {
+	defer core.SetParallelism(0)
+	for _, workers := range []int{1, 0} {
+		name := "workers=max"
+		if workers == 1 {
+			name = "workers=1"
+		}
+		b.Run(name, func(b *testing.B) {
+			core.SetParallelism(workers)
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(benchConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSoakUnit times a single faulted soak unit (one batch of
+// roundtrips under the 10% loss regime) — the harness's inner loop.
+func BenchmarkSoakUnit(b *testing.B) {
+	cfg := benchConfig().normalize()
+	lossUnit := 1 * len(cfg.Policies) * len(cfg.Versions) * cfg.BatchesPerCell
+	for i := 0; i < b.N; i++ {
+		if _, err := runUnit(cfg, lossUnit); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package soak
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// journalMagic identifies a soak journal file.
+const journalMagic = "protolat-soak-journal"
+
+// journalSchema versions the journal layout; a mismatch is a typed error,
+// not a silent misread.
+const journalSchema = 1
+
+// JournalError is the typed failure for every way a checkpoint journal can
+// be unusable: missing, truncated, corrupt, or written by an incompatible
+// configuration. Callers distinguish cases by Reason; errors.As recovers
+// the struct.
+type JournalError struct {
+	Path   string
+	Reason string // "missing", "corrupt", "schema", "mismatch", "io"
+	Err    error  // underlying error, when one exists
+}
+
+// Error renders the failure with its path and reason.
+func (e *JournalError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("soak journal %s: %s: %v", e.Path, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("soak journal %s: %s", e.Path, e.Reason)
+}
+
+// Unwrap exposes the underlying error.
+func (e *JournalError) Unwrap() error { return e.Err }
+
+// journal is the on-disk checkpoint envelope. State is kept as raw bytes so
+// the CRC covers exactly what was written.
+type journal struct {
+	Magic       string          `json:"magic"`
+	Schema      int             `json:"schema"`
+	Seed        uint64          `json:"seed"`
+	Fingerprint string          `json:"fingerprint"`
+	CRC         uint32          `json:"crc"`
+	State       json.RawMessage `json:"state"`
+}
+
+// saveJournal checkpoints the state atomically: marshal, CRC, write to a
+// temp file in the same directory, rename over the target. A kill between
+// any two soak chunks therefore leaves either the previous journal or the
+// new one, never a torn file.
+func saveJournal(path string, cfg Config, st *state) error {
+	raw, err := json.Marshal(st)
+	if err != nil {
+		return &JournalError{Path: path, Reason: "io", Err: err}
+	}
+	j := journal{
+		Magic:       journalMagic,
+		Schema:      journalSchema,
+		Seed:        cfg.Seed,
+		Fingerprint: cfg.fingerprint(),
+		CRC:         crc32.ChecksumIEEE(raw),
+		State:       raw,
+	}
+	out, err := json.MarshalIndent(&j, "", "  ")
+	if err != nil {
+		return &JournalError{Path: path, Reason: "io", Err: err}
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(out, '\n'), 0o644); err != nil {
+		return &JournalError{Path: path, Reason: "io", Err: err}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return &JournalError{Path: path, Reason: "io", Err: err}
+	}
+	return nil
+}
+
+// loadJournal reads and validates a checkpoint, returning the state it
+// carries. Every failure mode maps to a JournalError.
+func loadJournal(path string, cfg Config) (*state, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, &JournalError{Path: path, Reason: "missing", Err: err}
+		}
+		return nil, &JournalError{Path: path, Reason: "io", Err: err}
+	}
+	var j journal
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, &JournalError{Path: path, Reason: "corrupt", Err: err}
+	}
+	if j.Magic != journalMagic {
+		return nil, &JournalError{Path: path, Reason: "corrupt",
+			Err: fmt.Errorf("magic %q", j.Magic)}
+	}
+	if j.Schema != journalSchema {
+		return nil, &JournalError{Path: path, Reason: "schema",
+			Err: fmt.Errorf("journal schema %d, this binary speaks %d", j.Schema, journalSchema)}
+	}
+	if j.Seed != cfg.Seed || j.Fingerprint != cfg.fingerprint() {
+		return nil, &JournalError{Path: path, Reason: "mismatch",
+			Err: fmt.Errorf("journal was written by a different soak configuration (seed %d, fingerprint %s)", j.Seed, j.Fingerprint)}
+	}
+	// The envelope was written indented, which re-indents the embedded
+	// state; compact it back to the canonical form the CRC was taken over.
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, j.State); err != nil {
+		return nil, &JournalError{Path: path, Reason: "corrupt", Err: err}
+	}
+	if got := crc32.ChecksumIEEE(compact.Bytes()); got != j.CRC {
+		return nil, &JournalError{Path: path, Reason: "corrupt",
+			Err: fmt.Errorf("state crc %08x, journal claims %08x", got, j.CRC)}
+	}
+	var st state
+	if err := json.Unmarshal(j.State, &st); err != nil {
+		return nil, &JournalError{Path: path, Reason: "corrupt", Err: err}
+	}
+	if st.NextUnit < 0 || st.NextUnit > cfg.totalUnits() || len(st.Cells) != cfg.cellCount() {
+		return nil, &JournalError{Path: path, Reason: "mismatch",
+			Err: fmt.Errorf("state shape (unit %d, %d cells) does not fit the schedule (%d units, %d cells)",
+				st.NextUnit, len(st.Cells), cfg.totalUnits(), cfg.cellCount())}
+	}
+	return &st, nil
+}
+
+// ensureDir creates the journal's directory if needed.
+func ensureDir(path string) error {
+	dir := filepath.Dir(path)
+	if dir == "." || dir == "" {
+		return nil
+	}
+	return os.MkdirAll(dir, 0o755)
+}

@@ -30,6 +30,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/protocols/recovery"
+	"repro/internal/soak"
 )
 
 // Version is one of the paper's six measured configurations.
@@ -283,3 +285,76 @@ var (
 	FaultStudyDocOf = core.FaultStudyDocOf
 	SampleDoc       = core.SampleDoc
 )
+
+// RecoveryKind selects the transport retransmission-timer policy: "fixed"
+// (the historical 200 ms doubling RTO / 100 ms CHAN timer) or "adaptive"
+// (Jacobson/Karn RTT estimation with backoff and clamps, plus TCP dup-ACK
+// fast retransmit). Set Config.Recovery to run any experiment under it; on
+// fault-free runs every policy is cycle-identical.
+type RecoveryKind = recovery.Kind
+
+// The available recovery policies.
+const (
+	RecoveryFixed    = recovery.Fixed
+	RecoveryAdaptive = recovery.Adaptive
+)
+
+// ParseRecovery parses a -policy flag value ("" selects fixed).
+func ParseRecovery(s string) (RecoveryKind, error) { return recovery.ParseKind(s) }
+
+// RecoveryCell is one (policy, rate) point of the recovery comparison:
+// clean and degraded tail latencies under pure Bernoulli loss.
+type RecoveryCell = core.RecoveryCell
+
+// RecoveryComparison measures fixed vs adaptive recovery on the ALL layout
+// under Bernoulli loss, sharing per-rate plan seeds across policies so the
+// comparison isolates the timer. Deterministic at any parallelism.
+func RecoveryComparison(kind StackKind, seed uint64, q Quality) ([]RecoveryCell, error) {
+	return core.RecoveryComparison(kind, seed, q)
+}
+
+// RenderRecoveryTable and RecoveryDocOf render comparison cells as text and
+// JSON; RunRoundtrips is the per-roundtrip measurement primitive beneath
+// the comparison and the soak harness.
+var (
+	RenderRecoveryTable = core.RenderRecoveryTable
+	RecoveryDocOf       = core.RecoveryDocOf
+	RunRoundtrips       = core.RunRoundtrips
+)
+
+// Soak harness (see internal/soak): long-running roundtrip batches across
+// fault regimes × recovery policies × layout versions, with streaming tail
+// digests, continuous invariant checks, and journal-based resumability.
+type (
+	SoakConfig       = soak.Config
+	SoakRegime       = soak.Regime
+	SoakResult       = soak.Result
+	SoakCell         = soak.Cell
+	SoakChecks       = soak.Checks
+	SoakJournalError = soak.JournalError
+)
+
+// DefaultSoak returns the standard soak shape: the clean/loss/burst/storm
+// regime schedule over STD and ALL layouts with both recovery policies.
+func DefaultSoak(kind StackKind, seed uint64) SoakConfig {
+	return soak.DefaultConfig(kind, seed)
+}
+
+// Soak runs a fresh soak; ResumeSoak continues one from the journal at
+// cfg.CheckpointPath (every journal failure is a typed *SoakJournalError).
+// A resumed soak's document is byte-identical to an uninterrupted run's, at
+// any parallelism.
+func Soak(cfg SoakConfig) (*SoakResult, error) { return soak.Run(cfg) }
+
+// ResumeSoak continues a checkpointed soak to completion.
+func ResumeSoak(cfg SoakConfig) (*SoakResult, error) { return soak.Resume(cfg) }
+
+// SoakReport renders a soak result as text; SoakDocOf as the JSON form.
+var (
+	SoakReport = soak.Report
+	SoakDocOf  = soak.Doc
+)
+
+// VerifyUnitStats re-checks the frame-conservation and injector
+// reconciliation invariants from one soak unit's recorded stats.
+var VerifyUnitStats = soak.VerifyUnitStats

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Records the perf trajectory of the soak harness: runs the soak benchmarks
+# and writes the go-test JSON event stream to BENCH_soak.json at the repo
+# root. Compare ns/op between the workers=1 and workers=max sub-benchmarks
+# of BenchmarkSoakRun for the parallel speedup; BenchmarkSoakUnit is the
+# per-unit cost of the harness's inner loop.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-3x}"
+go test -run '^$' -bench 'BenchmarkSoakRun|BenchmarkSoakUnit' \
+	-benchtime "$BENCHTIME" -json ./internal/soak > BENCH_soak.json
+echo "wrote BENCH_soak.json ($(grep -c '"Action"' BENCH_soak.json) events)"
+grep -o '"Output":"Benchmark[^"]*"' BENCH_soak.json || true
+grep -o '[0-9.]* ns/op' BENCH_soak.json || true

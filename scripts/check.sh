@@ -37,4 +37,5 @@ go vet ./...
 go build ./...
 go test -race ./...
 ./scripts/fault_smoke.sh
+./scripts/soak_smoke.sh
 ./scripts/doc_check.sh
