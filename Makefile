@@ -1,9 +1,13 @@
 # Tier-1 verification and perf-trajectory targets.
 
-.PHONY: check bench-parallel bench-soak test build
+.PHONY: check vet bench-parallel bench-soak test build
 
 check: ## vet + build + race-enabled tests, one command
 	./scripts/check.sh
+
+vet: ## toolchain vet plus the repo's determinism analyzers (cmd/protovet)
+	go vet ./...
+	go run ./cmd/protovet
 
 bench-parallel: ## record BENCH_parallel.json (parallel runner + build cache)
 	./scripts/bench_parallel.sh

@@ -69,9 +69,12 @@ func main() {
 		}
 		var rows []row
 		for _, f := range prog.Funcs() {
-			if a, ok := prog.EntryAddr(f.Name); ok {
-				rows = append(rows, row{f.Name, a, prog.Placement(f.Name).End(), f.MainlineInstrs()})
+			a, err := prog.FuncEntry(f.Name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "layoutview:", err)
+				os.Exit(1)
 			}
+			rows = append(rows, row{f.Name, a, prog.Placement(f.Name).End(), f.MainlineInstrs()})
 		}
 		sort.Slice(rows, func(i, j int) bool { return rows[i].addr < rows[j].addr })
 		fmt.Printf("%-22s %12s %12s %10s %10s\n", "function", "entry", "end", "set-off", "mainline")
@@ -83,8 +86,17 @@ func main() {
 	}
 
 	fmt.Printf("%v / %v (%v clone layout)\n\n", kind, ver, strat)
-	fmt.Print(layout.Footprint(prog, nil, m))
-	hot, cold, gap := layout.FootprintStats(prog, nil, m)
+	fp, err := layout.Footprint(prog, nil, m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "layoutview:", err)
+		os.Exit(1)
+	}
+	fmt.Print(fp)
+	hot, cold, gap, err := layout.FootprintStats(prog, nil, m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "layoutview:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("\nmainline %d blocks (%d KB), outlined %d blocks, gaps %d blocks\n",
 		hot, hot*m.BlockBytes/1024, cold, gap)
 }

@@ -17,6 +17,7 @@
 //	protolat -soak -checkpoint s.journal -soakstop 20   # stop early, journal kept
 //	protolat -soak -checkpoint s.journal -resume        # continue from the journal
 //	protolat -profile -top 8                      # per-function mCPI attribution
+//	protolat -lint                                # static layout lint, no simulation
 //	protolat -table 7 -json out.json              # structured export + manifest
 //
 // See docs/CLI.md for the complete flag reference with worked examples.
@@ -58,6 +59,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "fault-plan seed for -faults and -soak; same seed = byte-identical report at any -parallel")
 		rates    = flag.String("rates", "", "comma-separated fault rates for -faults (default 0,0.02,0.05,0.10)")
 		profile  = flag.Bool("profile", false, "per-function mCPI attribution and i-cache conflict heatmap per version")
+		lint     = flag.Bool("lint", false, "static layout lint: predicted i-cache conflicts per version from placed addresses, no simulation")
 		top      = flag.Int("top", 10, "functions listed per version in -profile output")
 		jsonPath = flag.String("json", "", "also write the run as a structured JSON document (manifest + data) to this path")
 		parallel = flag.Int("parallel", 0, "worker pool for samples and table cells (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
@@ -120,6 +122,16 @@ func main() {
 		export(fmt.Sprintf("protolat -soak -stack %s -seed %d -quality %s", stackName(kind), *seed, *quality), *seed,
 			func(doc *repro.Document) error {
 				doc.Soak = repro.SoakDocOf(res)
+				return nil
+			})
+
+	case *lint:
+		cells, err := repro.LintStudy(kind, repro.Bipartite)
+		check(err)
+		fmt.Println(repro.RenderLintStudy(kind, repro.Bipartite, cells))
+		export(fmt.Sprintf("protolat -lint -stack %s", stackName(kind)), 0,
+			func(doc *repro.Document) error {
+				doc.Verify = repro.LintStudyDocOf(kind, repro.Bipartite, cells)
 				return nil
 			})
 

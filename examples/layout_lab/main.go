@@ -36,9 +36,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		hot, cold, gap := layout.FootprintStats(prog, names, m)
+		hot, cold, gap, err := layout.FootprintStats(prog, names, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fp, err := layout.Footprint(prog, names, m)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("\n--- %s ---\n", step.what)
-		fmt.Print(layout.Footprint(prog, names, m))
+		fmt.Print(fp)
 		fmt.Printf("(%d mainline blocks, %d outlined, %d gap)\n", hot, cold, gap)
 	}
 

@@ -396,8 +396,15 @@ func Figure2() (string, error) {
 			return "", err
 		}
 		sb.WriteString("\n" + vc.title + ":\n")
-		sb.WriteString(layout.Footprint(prog, names, m))
-		hot, cold, gap := layout.FootprintStats(prog, names, m)
+		fp, err := layout.Footprint(prog, names, m)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(fp)
+		hot, cold, gap, err := layout.FootprintStats(prog, names, m)
+		if err != nil {
+			return "", err
+		}
 		sb.WriteString(fmt.Sprintf("mainline %d blocks, outlined %d blocks, gaps %d blocks\n", hot, cold, gap))
 	}
 	return sb.String(), nil

@@ -16,6 +16,7 @@ import (
 	"repro/internal/protocols/features"
 	"repro/internal/protocols/rpc"
 	"repro/internal/protocols/tcpip"
+	"repro/internal/verify"
 )
 
 // Version is one of the measured configurations of §4.2.
@@ -135,9 +136,25 @@ func usageHint(spec layout.Spec) map[string]int {
 	return u
 }
 
-// buildProgram links the model image for one host in the given version; the
-// exported, memoized entry point is BuildProgram in progcache.go.
+// buildProgram links the model image for one host in the given version and
+// then runs the static well-formedness pass over it, so a malformed layout
+// is rejected here — with a typed *verify.VerifyError naming the broken
+// invariant — instead of surfacing later as a wrong trace or an engine
+// crash. The exported, memoized entry point is BuildProgram in progcache.go.
 func buildProgram(kind StackKind, v Version, feat features.Set, strat CloneStrategy, m arch.Machine) (*code.Program, error) {
+	p, err := buildProgramUnverified(kind, v, feat, strat, m)
+	if err != nil {
+		return nil, err
+	}
+	if err := verify.Program(p, m); err != nil {
+		return nil, fmt.Errorf("core: %v/%v/%v image rejected: %w", kind, v, strat, err)
+	}
+	return p, nil
+}
+
+// buildProgramUnverified constructs and links the image without the static
+// checks; buildProgram wraps it.
+func buildProgramUnverified(kind StackKind, v Version, feat features.Set, strat CloneStrategy, m arch.Machine) (*code.Program, error) {
 	fns, spec := stackModels(kind, feat)
 	base := code.NewProgram()
 	if err := base.Add(fns...); err != nil {

@@ -7,17 +7,22 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/code"
+	"repro/internal/verify"
 )
 
 // Footprint renders a Figure 2-style i-cache footprint map of the named
 // functions (all placed functions when names is nil): each character is one
 // cache block, rows wrap at the i-cache size so a column corresponds to a
 // cache set. '#' marks mainline code, 'o' outlined (cold) code, '.' a gap.
-func Footprint(p *code.Program, names []string, m arch.Machine) string {
+// A named function that is missing or unplaced, or a block the placement
+// lost, is an error: a footprint that silently skips code would hide
+// exactly the layout bugs it exists to show.
+func Footprint(p *code.Program, names []string, m arch.Machine) (string, error) {
 	if names == nil {
 		names = p.Names()
 	}
-	block := uint64(m.BlockBytes)
+	g := verify.NewGeometry(m)
+	ib := uint64(m.InstrBytes)
 	type span struct {
 		lo, hi uint64
 		cold   bool
@@ -26,20 +31,22 @@ func Footprint(p *code.Program, names []string, m arch.Machine) string {
 	var lo, hi uint64
 	for _, n := range names {
 		f := p.Func(n)
+		if f == nil {
+			return "", &code.MissingBlockError{}
+		}
 		pl := p.Placement(n)
-		if f == nil || pl == nil {
-			continue
+		if pl == nil {
+			return "", &code.MissingBlockError{Func: n}
 		}
 		for _, b := range f.Blocks {
-			addr, ok := pl.BlockAddr(b.Label)
-			if !ok {
-				continue
+			addr, size, err := pl.BlockSpan(b.Label)
+			if err != nil {
+				return "", err
 			}
-			size, _ := pl.BlockSize(b.Label)
 			if size == 0 {
 				continue
 			}
-			end := addr + uint64(size*4)
+			end := addr + uint64(size)*ib
 			spans = append(spans, span{addr, end, b.Kind.Outlinable()})
 			if lo == 0 || addr < lo {
 				lo = addr
@@ -50,19 +57,19 @@ func Footprint(p *code.Program, names []string, m arch.Machine) string {
 		}
 	}
 	if len(spans) == 0 {
-		return "(empty footprint)\n"
+		return "(empty footprint)\n", nil
 	}
 	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
 
-	lo = lo &^ (uint64(m.ICacheBytes) - 1) // row-align to the cache
-	nBlocks := int((hi - lo + block - 1) / block)
+	lo = g.RowFloor(lo) // row-align to the cache
+	nBlocks := g.BlockIndex(lo, hi-1) + 1
 	cells := make([]byte, nBlocks)
 	for i := range cells {
 		cells[i] = '.'
 	}
 	for _, s := range spans {
-		for a := s.lo &^ (block - 1); a < s.hi; a += block {
-			idx := int((a - lo) / block)
+		for a := g.BlockFloor(s.lo); a < s.hi; a += uint64(g.BlockBytes) {
+			idx := g.BlockIndex(lo, a)
 			if idx < 0 || idx >= nBlocks {
 				continue
 			}
@@ -77,24 +84,27 @@ func Footprint(p *code.Program, names []string, m arch.Machine) string {
 		}
 	}
 
-	perRow := m.ICacheBytes / m.BlockBytes
+	perRow := g.BlocksPerRow()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "one row = one i-cache generation (%d blocks of %dB); '#' mainline, 'o' outlined, '.' gap\n",
-		perRow, m.BlockBytes)
+		perRow, g.BlockBytes)
 	for i := 0; i < nBlocks; i += perRow {
 		end := i + perRow
 		if end > nBlocks {
 			end = nBlocks
 		}
-		fmt.Fprintf(&sb, "%#08x |%s|\n", lo+uint64(i)*block, cells[i:end])
+		fmt.Fprintf(&sb, "%#08x |%s|\n", lo+uint64(i*g.BlockBytes), cells[i:end])
 	}
-	return sb.String()
+	return sb.String(), nil
 }
 
 // FootprintStats summarizes a footprint: blocks of mainline, outlined code,
 // and gap within the occupied extent.
-func FootprintStats(p *code.Program, names []string, m arch.Machine) (hot, cold, gap int) {
-	text := Footprint(p, names, m)
+func FootprintStats(p *code.Program, names []string, m arch.Machine) (hot, cold, gap int, err error) {
+	text, err := Footprint(p, names, m)
+	if err != nil {
+		return 0, 0, 0, err
+	}
 	for _, ch := range text {
 		switch ch {
 		case '#':
@@ -105,5 +115,5 @@ func FootprintStats(p *code.Program, names []string, m arch.Machine) (hot, cold,
 			gap++
 		}
 	}
-	return
+	return hot, cold, gap, nil
 }

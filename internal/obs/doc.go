@@ -279,6 +279,36 @@ type SoakDoc struct {
 	Cells  []SoakCellDoc `json:"cells"`
 }
 
+// LintSetDoc is one cache set the static layout lint predicts will thrash
+// on the latency path.
+type LintSetDoc struct {
+	Set        int      `json:"set"`
+	Blocks     int      `json:"blocks"`
+	ReplMisses int      `json:"repl_misses"`
+	Funcs      []string `json:"funcs,omitempty"`
+}
+
+// LintCellDoc is one version's static lint verdict: the path's i-cache
+// footprint, the predicted steady-state replacement misses, and the layout
+// hygiene counters, all computed from placed addresses without running the
+// simulator.
+type LintCellDoc struct {
+	Version             string       `json:"version"`
+	PathBlocks          int          `json:"path_blocks"`
+	PredictedRepl       int          `json:"predicted_repl"`
+	PartitionViolations int          `json:"partition_violations"`
+	HotColdInterleave   int          `json:"hot_cold_interleave"`
+	Conflicts           []LintSetDoc `json:"conflicts,omitempty"`
+}
+
+// VerifyDoc is the static-verification section of a document: per-version
+// layout-lint predictions (protolat -lint).
+type VerifyDoc struct {
+	Stack    string        `json:"stack"`
+	Strategy string        `json:"strategy"`
+	Cells    []LintCellDoc `json:"cells"`
+}
+
 // Document is the root of a protolat JSON export: the manifest plus
 // whatever the selected mode produced.
 type Document struct {
@@ -288,6 +318,7 @@ type Document struct {
 	Runs       []Run          `json:"runs,omitempty"`
 	FaultStudy *FaultStudyDoc `json:"fault_study,omitempty"`
 	Soak       *SoakDoc       `json:"soak,omitempty"`
+	Verify     *VerifyDoc     `json:"verify,omitempty"`
 }
 
 // Marshal renders the document as indented JSON with a trailing newline.

@@ -1,0 +1,118 @@
+package verify
+
+import (
+	"repro/internal/code"
+)
+
+// CFG is one function's control-flow graph: the labels each block can
+// transfer to. Edges follow terminators only; calls are interprocedural
+// and live in the CallGraph.
+type CFG struct {
+	// Fn is the function the graph describes.
+	Fn *code.Function
+	// Succs maps a block label to its successor labels (Then before Else).
+	Succs map[string][]string
+}
+
+// FuncCFG builds the control-flow graph of f.
+func FuncCFG(f *code.Function) *CFG {
+	g := &CFG{Fn: f, Succs: make(map[string][]string, len(f.Blocks))}
+	for _, b := range f.Blocks {
+		var succ []string
+		switch b.Term.Kind {
+		case code.TermJump:
+			succ = []string{b.Term.Then}
+		case code.TermCond:
+			succ = []string{b.Term.Then, b.Term.Else}
+		}
+		g.Succs[b.Label] = succ
+	}
+	return g
+}
+
+// Reachable returns the set of labels reachable from the entry block by
+// following terminator edges. Unknown successor labels (dangling targets)
+// are ignored here; the well-formedness pass reports them separately.
+func (g *CFG) Reachable() map[string]bool {
+	reach := map[string]bool{}
+	if len(g.Fn.Blocks) == 0 {
+		return reach
+	}
+	work := []string{g.Fn.Blocks[0].Label}
+	reach[work[0]] = true
+	for len(work) > 0 {
+		l := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range g.Succs[l] {
+			if _, known := g.Succs[s]; known && !reach[s] {
+				reach[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return reach
+}
+
+// CallGraph is the program's interprocedural call graph.
+type CallGraph struct {
+	// Callees maps a function name to the distinct functions it calls, in
+	// first-call order.
+	Callees map[string][]string
+	order   []string
+}
+
+// ProgramCallGraph builds the call graph of every function in p. Call
+// targets that do not resolve to a program function are kept as edges so
+// callers can inspect them; the well-formedness pass rejects them first.
+func ProgramCallGraph(p *code.Program) *CallGraph {
+	g := &CallGraph{Callees: map[string][]string{}, order: p.Names()}
+	for _, f := range p.Funcs() {
+		g.Callees[f.Name] = f.Callees()
+	}
+	return g
+}
+
+// Cycle returns one cycle of the call graph as a function-name path
+// (first element repeated at the end), or nil when the graph is acyclic.
+// Detection order is deterministic: functions are tried in link order and
+// callees in first-call order.
+func (g *CallGraph) Cycle() []string {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var path []string
+	var found []string
+	var dfs func(n string) bool
+	dfs = func(n string) bool {
+		color[n] = grey
+		path = append(path, n)
+		for _, c := range g.Callees[n] {
+			switch color[c] {
+			case grey:
+				// Slice the cycle out of the current path.
+				for i, x := range path {
+					if x == c {
+						found = append(append([]string(nil), path[i:]...), c)
+						return true
+					}
+				}
+			case white:
+				if dfs(c) {
+					return true
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		color[n] = black
+		return false
+	}
+	for _, n := range g.order {
+		if color[n] == white && dfs(n) {
+			return found
+		}
+	}
+	return nil
+}

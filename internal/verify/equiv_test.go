@@ -1,0 +1,213 @@
+package verify_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/code"
+	"repro/internal/layout"
+	"repro/internal/verify"
+)
+
+// makeLayers builds the same synthetic stack shape the layout tests use: a
+// chain of path functions each calling the next, a shared library helper,
+// and an outlined error block per layer.
+func makeLayers(layers, bodyALU int) *code.Program {
+	p := code.NewProgram()
+	lib := code.NewBuilder("lib_copy", code.ClassLibrary).
+		Loop("copy", "lib.more", func(b *code.Builder) { b.Load("src", 1).Store("dst", 1).ALU(1) }).
+		Ret().MustBuild()
+	p.MustAdd(lib)
+	for i := layers - 1; i >= 0; i-- {
+		name := layerName(i)
+		b := code.NewBuilder(name, code.ClassPath).Frame(2)
+		b.ALU(bodyALU).Load("state", 2)
+		b.Cond("err", "fail", "work")
+		b.Block("fail").Kind(code.BlockError).ALU(40).Ret()
+		b.Block("work").ALU(bodyALU)
+		b.Call("lib_copy")
+		if i < layers-1 {
+			b.Call(layerName(i + 1))
+		}
+		b.Store("state", 2).Ret()
+		p.MustAdd(b.MustBuild())
+	}
+	return p
+}
+
+func layerName(i int) string { return string(rune('a'+i)) + "_layer" }
+
+func layersSpec(layers int) layout.Spec {
+	s := layout.Spec{Library: []string{"lib_copy"}}
+	for i := 0; i < layers; i++ {
+		s.Path = append(s.Path, layerName(i))
+	}
+	return s
+}
+
+func wantReason(t *testing.T, err error, want verify.Reason) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("sabotage not detected, want reason %q", want)
+	}
+	var ve *verify.VerifyError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error is %T, want *verify.VerifyError: %v", err, err)
+	}
+	if ve.Reason != want {
+		t.Fatalf("reason = %q, want %q (%v)", ve.Reason, want, err)
+	}
+}
+
+func TestCheckOutlineAcceptsOutliner(t *testing.T) {
+	p := makeLayers(4, 20)
+	q := layout.Outline(p)
+	if err := verify.CheckOutline(p, q); err != nil {
+		t.Fatalf("outliner output rejected: %v", err)
+	}
+	// Outlining is idempotent, so an already-outlined program is its own
+	// valid outline.
+	if err := verify.CheckOutline(q, layout.Outline(q)); err != nil {
+		t.Fatalf("idempotent outline rejected: %v", err)
+	}
+}
+
+func TestCheckOutlineRejectsSabotage(t *testing.T) {
+	p := makeLayers(3, 10)
+	t.Run("reordered blocks", func(t *testing.T) {
+		q := layout.Outline(p)
+		f := q.Func("a_layer")
+		f.Blocks[0], f.Blocks[len(f.Blocks)-1] = f.Blocks[len(f.Blocks)-1], f.Blocks[0]
+		wantReason(t, verify.CheckOutline(p, q), verify.ReasonOrderViolation)
+	})
+	t.Run("mutated instruction", func(t *testing.T) {
+		q := layout.Outline(p)
+		q.Func("a_layer").Blocks[0].Instrs[0] = code.Instr{Op: arch.OpMul}
+		wantReason(t, verify.CheckOutline(p, q), verify.ReasonBlockChanged)
+	})
+	t.Run("dropped block", func(t *testing.T) {
+		q := layout.Outline(p)
+		f := q.Func("a_layer")
+		f.Blocks = f.Blocks[:len(f.Blocks)-1]
+		wantReason(t, verify.CheckOutline(p, q), verify.ReasonBlockSetChanged)
+	})
+	t.Run("dropped function", func(t *testing.T) {
+		q := layout.Outline(p)
+		q.Remove("lib_copy")
+		wantReason(t, verify.CheckOutline(p, q), verify.ReasonFuncSetChanged)
+	})
+}
+
+func TestCheckCloneAcceptsBipartite(t *testing.T) {
+	p := layout.Outline(makeLayers(4, 20))
+	spec := layersSpec(4)
+	clo, err := layout.Bipartite(p, spec, arch.DEC3000_600(), layout.DefaultCloneBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specialized := append(append([]string(nil), spec.Path...), spec.Library...)
+	if err := verify.CheckClone(p, clo, specialized); err != nil {
+		t.Fatalf("bipartite clone rejected: %v", err)
+	}
+	// The clone is NOT a pure move: CheckOutline must refuse it, because
+	// specialization deleted instructions.
+	wantReason(t, verify.CheckOutline(p, clo), verify.ReasonBlockChanged)
+}
+
+func TestCheckCloneRejectsSabotage(t *testing.T) {
+	p := layout.Outline(makeLayers(3, 10))
+	spec := layersSpec(3)
+	specialized := append(append([]string(nil), spec.Path...), spec.Library...)
+	build := func(t *testing.T) *code.Program {
+		clo, err := layout.Bipartite(p, spec, arch.DEC3000_600(), layout.DefaultCloneBase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return clo
+	}
+	t.Run("extra instruction", func(t *testing.T) {
+		clo := build(t)
+		b := clo.Func("a_layer").Blocks[0]
+		b.Instrs = append(b.Instrs, code.Instr{Op: arch.OpALU})
+		wantReason(t, verify.CheckClone(p, clo, specialized), verify.ReasonIllegalDrop)
+	})
+	t.Run("unlicensed drop", func(t *testing.T) {
+		clo := build(t)
+		b := clo.Func("a_layer").Blocks[0]
+		// Drop a plain body instruction — not a prologue slot, not a
+		// call-address load.
+		for i, in := range b.Instrs {
+			if !in.Prologue && !in.CallLoad && in.Call == "" {
+				b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+				break
+			}
+		}
+		wantReason(t, verify.CheckClone(p, clo, specialized), verify.ReasonIllegalDrop)
+	})
+	t.Run("kind change", func(t *testing.T) {
+		clo := build(t)
+		clo.Func("a_layer").Blocks[0].Kind = code.BlockInit
+		wantReason(t, verify.CheckClone(p, clo, specialized), verify.ReasonBlockChanged)
+	})
+}
+
+func TestCheckInlineAcceptsPathInline(t *testing.T) {
+	layers := 4
+	p := layout.Outline(makeLayers(layers, 10))
+	spec := layersSpec(layers)
+	q, err := layout.PathInline(p, "a_layer", spec.Path[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckInline(p, q, "a_layer", spec.Path[1:]); err != nil {
+		t.Fatalf("path-inlined root rejected: %v", err)
+	}
+}
+
+func TestCheckInlineRejectsSabotage(t *testing.T) {
+	layers := 3
+	p := layout.Outline(makeLayers(layers, 10))
+	spec := layersSpec(layers)
+	build := func(t *testing.T) *code.Program {
+		q, err := layout.PathInline(p, "a_layer", spec.Path[1:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	t.Run("extra instruction on path", func(t *testing.T) {
+		q := build(t)
+		b := q.Func("a_layer").Blocks[0]
+		b.Instrs = append(b.Instrs, code.Instr{Op: arch.OpALU})
+		wantReason(t, verify.CheckInline(p, q, "a_layer", spec.Path[1:]),
+			verify.ReasonPathDivergence)
+	})
+	t.Run("rewired branch", func(t *testing.T) {
+		q := build(t)
+		f := q.Func("a_layer")
+		// Invert the first conditional: the observable branch arms swap, so
+		// the paths diverge on the first packet that takes the else arm.
+		for _, b := range f.Blocks {
+			if b.Term.Kind == code.TermCond {
+				b.Term.Then, b.Term.Else = b.Term.Else, b.Term.Then
+				break
+			}
+		}
+		wantReason(t, verify.CheckInline(p, q, "a_layer", spec.Path[1:]),
+			verify.ReasonPathDivergence)
+	})
+	t.Run("non-root touched", func(t *testing.T) {
+		q := build(t)
+		b := q.Func("b_layer").Blocks[0]
+		b.Instrs = append(b.Instrs, code.Instr{Op: arch.OpALU})
+		wantReason(t, verify.CheckInline(p, q, "a_layer", spec.Path[1:]),
+			verify.ReasonBlockChanged)
+	})
+	t.Run("recursive inlinable", func(t *testing.T) {
+		r := code.NewProgram()
+		r.MustAdd(code.NewBuilder("r", code.ClassPath).ALU(1).Call("r").Ret().MustBuild())
+		wantReason(t, verify.CheckInline(r, r, "r", []string{"r"}),
+			verify.ReasonRecursion)
+	})
+}

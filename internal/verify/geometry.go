@@ -1,0 +1,91 @@
+package verify
+
+import "repro/internal/arch"
+
+// Geometry is the i-cache set-mapping arithmetic shared by the layout
+// lint, the footprint renderer, and the conflict predictor: one place that
+// knows how an address becomes a cache block and a set. It mirrors the
+// dynamic simulator's mapping (internal/sim/mem) exactly, so a static
+// prediction and a measured per-set count index the same sets.
+type Geometry struct {
+	// BlockBytes is the cache block (line) size.
+	BlockBytes int
+	// RowBytes is the cache's total byte size — one "row" of the
+	// footprint map, and the stride at which addresses alias.
+	RowBytes int
+	// Sets is the number of sets (RowBytes / BlockBytes / Assoc).
+	Sets int
+	// Assoc is the set associativity.
+	Assoc int
+
+	blockShift uint
+	setMask    uint64
+}
+
+// NewGeometry derives the i-cache geometry of m.
+func NewGeometry(m arch.Machine) Geometry {
+	assoc := m.Assoc
+	if assoc < 1 {
+		assoc = 1
+	}
+	sets := m.ICacheBytes / m.BlockBytes / assoc
+	if sets < 1 {
+		sets = 1
+	}
+	shift := uint(0)
+	for 1<<shift < m.BlockBytes {
+		shift++
+	}
+	return Geometry{
+		BlockBytes: m.BlockBytes,
+		RowBytes:   m.ICacheBytes,
+		Sets:       sets,
+		Assoc:      assoc,
+		blockShift: shift,
+		setMask:    uint64(sets - 1),
+	}
+}
+
+// BlockNumber returns the cache-block number containing addr (the unit the
+// simulator tags and the predictor tracks).
+func (g Geometry) BlockNumber(addr uint64) uint64 { return addr >> g.blockShift }
+
+// Set returns the cache set addr maps to.
+func (g Geometry) Set(addr uint64) int {
+	return int(g.BlockNumber(addr) & g.setMask)
+}
+
+// BlockFloor aligns addr down to its cache-block boundary.
+func (g Geometry) BlockFloor(addr uint64) uint64 {
+	return addr &^ (uint64(g.BlockBytes) - 1)
+}
+
+// RowFloor aligns addr down to a cache-size boundary — the footprint map's
+// row origin.
+func (g Geometry) RowFloor(addr uint64) uint64 {
+	return addr &^ (uint64(g.RowBytes) - 1)
+}
+
+// BlocksPerRow is how many cache blocks one cache-sized row holds.
+func (g Geometry) BlocksPerRow() int { return g.RowBytes / g.BlockBytes }
+
+// BlockIndex returns the zero-based cache-block index of addr relative to
+// base (which must be block-aligned and not above addr).
+func (g Geometry) BlockIndex(base, addr uint64) int {
+	return int((addr - base) >> g.blockShift)
+}
+
+// SpanBlocks returns the cache-block numbers the half-open byte range
+// [lo, hi) touches, in ascending order. An empty range touches none.
+func (g Geometry) SpanBlocks(lo, hi uint64) []uint64 {
+	if hi <= lo {
+		return nil
+	}
+	first := g.BlockNumber(lo)
+	last := g.BlockNumber(hi - 1)
+	out := make([]uint64, 0, last-first+1)
+	for b := first; b <= last; b++ {
+		out = append(out, b)
+	}
+	return out
+}

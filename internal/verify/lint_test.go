@@ -1,0 +1,117 @@
+package verify_test
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/code"
+	"repro/internal/verify"
+)
+
+// lintFixture builds one path function calling one library helper twice,
+// placed at a chosen distance so the test controls whether their code
+// aliases in the i-cache.
+func lintFixture(t *testing.T, libOffset uint64) *code.Program {
+	t.Helper()
+	p := code.NewProgram()
+	p.MustAdd(
+		code.NewBuilder("lib", code.ClassLibrary).Frame(1).ALU(20).Ret().MustBuild(),
+		code.NewBuilder("path", code.ClassPath).Frame(2).
+			ALU(8).Call("lib").ALU(4).Call("lib").Ret().MustBuild(),
+	)
+	base := uint64(0x30_0000)
+	if _, err := p.PlaceSequential("path", base, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PlaceSequential("lib", base+libOffset, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.FinishLayout(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLintPredictsAliasedLayout(t *testing.T) {
+	m := arch.DEC3000_600()
+	spec := verify.PathSpec{Path: []string{"path"}, Library: []string{"lib"}}
+
+	// Library one full i-cache past the path: every block aliases.
+	bad, err := verify.Lint(lintFixture(t, uint64(m.ICacheBytes)), spec, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Library half a cache away: no set is shared.
+	good, err := verify.Lint(lintFixture(t, uint64(m.ICacheBytes/2)), spec, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if bad.PredictedRepl == 0 {
+		t.Fatal("aliased layout predicted conflict-free")
+	}
+	if good.PredictedRepl != 0 {
+		t.Fatalf("disjoint layout predicted %d replacement misses", good.PredictedRepl)
+	}
+	if bad.PartitionViolations == 0 || good.PartitionViolations != 0 {
+		t.Fatalf("partition violations: aliased %d, disjoint %d",
+			bad.PartitionViolations, good.PartitionViolations)
+	}
+	if len(bad.Conflicts) == 0 || len(good.Conflicts) != 0 {
+		t.Fatalf("conflict lists: aliased %d, disjoint %d",
+			len(bad.Conflicts), len(good.Conflicts))
+	}
+	if bad.PathBlocks != good.PathBlocks {
+		t.Fatalf("footprint must not depend on aliasing: %d vs %d",
+			bad.PathBlocks, good.PathBlocks)
+	}
+	for i := 1; i < len(bad.Conflicts); i++ {
+		a, b := bad.Conflicts[i-1], bad.Conflicts[i]
+		if a.ReplMisses < b.ReplMisses || (a.ReplMisses == b.ReplMisses && a.Set > b.Set) {
+			t.Fatalf("conflicts unsorted at %d: %+v then %+v", i, a, b)
+		}
+	}
+	for _, c := range bad.Conflicts {
+		if len(c.Funcs) != 2 {
+			t.Fatalf("aliased set %d blames %v, want both functions", c.Set, c.Funcs)
+		}
+	}
+}
+
+func TestLintCountsHotColdInterleave(t *testing.T) {
+	m := arch.DEC3000_600()
+	p := code.NewProgram()
+	b := code.NewBuilder("path", code.ClassPath).Frame(2)
+	b.ALU(8)
+	b.Cond("err", "fail", "work")
+	b.Block("fail").Kind(code.BlockError).ALU(16).Ret()
+	b.Block("work").ALU(8).Ret()
+	p.MustAdd(b.MustBuild())
+	// Source order places the cold error block between the two hot blocks.
+	if _, err := p.PlaceSequential("path", 0x30_0000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.FinishLayout(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := verify.Lint(p, verify.PathSpec{Path: []string{"path"}}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HotColdInterleave != 1 {
+		t.Fatalf("interleave = %d, want 1 (hot, cold, hot)", rep.HotColdInterleave)
+	}
+}
+
+func TestLintRejectsBrokenSpec(t *testing.T) {
+	m := arch.DEC3000_600()
+	p := lintFixture(t, uint64(m.ICacheBytes/2))
+	if _, err := verify.Lint(p, verify.PathSpec{Path: []string{"ghost"}}, m); err == nil {
+		t.Fatal("unknown path function accepted")
+	}
+	q := code.NewProgram()
+	q.MustAdd(code.NewBuilder("path", code.ClassPath).ALU(4).Ret().MustBuild())
+	if _, err := verify.Lint(q, verify.PathSpec{Path: []string{"path"}}, m); err == nil {
+		t.Fatal("unplaced program accepted")
+	}
+}

@@ -1,0 +1,191 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// loader type-checks the module's packages on demand. It doubles as the
+// types.Importer the checker calls back into: module-internal import paths
+// resolve recursively through the loader itself, everything else is
+// delegated to the standard library's source importer, so the whole load
+// works offline with no toolchain help.
+type loader struct {
+	fset    *token.FileSet
+	module  string
+	dirs    map[string]string // import path -> directory
+	pkgs    map[string]*Package
+	loading map[string]bool
+	std     types.Importer
+}
+
+// LoadAll parses and type-checks every package of the module rooted at
+// root (skipping _test.go files, testdata, and dot-directories) and
+// returns them sorted by import path.
+func LoadAll(root string) ([]*Package, error) {
+	module, err := moduleName(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &loader{
+		fset:    fset,
+		module:  module,
+		dirs:    map[string]string{},
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+	if err := l.discover(root); err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(l.dirs))
+	for p := range l.dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// moduleName reads the module path from root's go.mod.
+func moduleName(root string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("vet: %w", err)
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("vet: no module line in %s/go.mod", root)
+}
+
+// discover maps every package directory under root to its import path.
+func (l *loader) discover(root string) error {
+	return filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		files, err := sourceFiles(path)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		imp := l.module
+		if rel != "." {
+			imp = l.module + "/" + filepath.ToSlash(rel)
+		}
+		l.dirs[imp] = path
+		return nil
+	})
+}
+
+// sourceFiles lists a directory's non-test .go files, sorted.
+func sourceFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		out = append(out, filepath.Join(dir, n))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Import implements types.Importer: module-internal paths load through the
+// loader, everything else through the stdlib source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, ok := l.dirs[path]; ok {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one module package, memoized.
+func (l *loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("vet: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	names, err := sourceFiles(l.dirs[path])
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	p, err := TypeCheck(path, l.fset, files, l)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// TypeCheck runs the go/types checker over already-parsed files and wraps
+// the result as a Package. It is the single construction point for both
+// the module loader and fixture-based analyzer tests.
+func TypeCheck(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	tp, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("vet: %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tp, Info: info}, nil
+}

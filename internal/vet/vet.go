@@ -1,0 +1,90 @@
+// Package vet is a project-specific static checker for the determinism
+// invariants this repository's results depend on: simulations must not read
+// wall-clock time or ambient randomness, reports must not let Go's
+// randomized map iteration order reach their output, and formatted output
+// must not embed pointer values. The standard toolchain cannot know these
+// rules; cmd/protovet runs them as part of `make check`.
+//
+// The checker is self-contained: it loads and type-checks the module with
+// the standard library's go/* packages only, so it runs in the same
+// offline, zero-dependency environment as the rest of the repository.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding: a rule violation at a source position.
+type Diagnostic struct {
+	// Pos locates the offending expression.
+	Pos token.Position
+	// Analyzer names the rule that fired.
+	Analyzer string
+	// Message explains the violation.
+	Message string
+}
+
+// String renders the diagnostic in the file:line:col: [analyzer] message
+// form protovet prints.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Fset maps AST nodes to source positions.
+	Fset *token.FileSet
+	// Files holds the parsed (non-test) source files.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the type-checker's expression and identifier facts.
+	Info *types.Info
+}
+
+// Analyzer is one checkable rule.
+type Analyzer struct {
+	// Name identifies the rule in diagnostics (e.g. "nowrand").
+	Name string
+	// Doc is the one-line rule description protovet -help lists.
+	Doc string
+	// Run inspects one package and returns its findings.
+	Run func(p *Package) []Diagnostic
+}
+
+// Analyzers returns the full rule set in a fixed order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{analyzerNowRand, analyzerMapRange, analyzerPtrFmt}
+}
+
+// RunAnalyzers applies every analyzer to every package and returns all
+// findings sorted by position then analyzer, so the output is stable
+// regardless of load or scheduling order.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		for _, a := range analyzers {
+			out = append(out, a.Run(p)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}

@@ -1,0 +1,150 @@
+package vet_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/vet"
+)
+
+// checkSrc type-checks one fixture file as a package with the given import
+// path and returns it ready for analysis.
+func checkSrc(t *testing.T, path, src string) *vet.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := vet.TypeCheck(path, fset, []*ast.File{f}, importer.ForCompiler(fset, "source", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// run applies the full analyzer set to one fixture.
+func run(t *testing.T, path, src string) []vet.Diagnostic {
+	t.Helper()
+	return vet.RunAnalyzers([]*vet.Package{checkSrc(t, path, src)}, vet.Analyzers())
+}
+
+// wantFindings asserts the diagnostics' analyzers, in order.
+func wantFindings(t *testing.T, diags []vet.Diagnostic, analyzers ...string) {
+	t.Helper()
+	if len(diags) != len(analyzers) {
+		t.Fatalf("got %d findings %v, want %d (%v)", len(diags), diags, len(analyzers), analyzers)
+	}
+	for i, want := range analyzers {
+		if diags[i].Analyzer != want {
+			t.Errorf("finding %d: analyzer %q, want %q (%v)", i, diags[i].Analyzer, want, diags[i])
+		}
+	}
+}
+
+const clockSrc = `package fake
+
+import (
+	"math/rand"
+	"time"
+)
+
+func tick() int64 {
+	rand.Seed(42)
+	return time.Now().UnixNano() + int64(rand.Int())
+}
+
+func span(d time.Duration) time.Duration { return 2 * d } // type use is fine
+`
+
+func TestNowRandInDeterministicCore(t *testing.T) {
+	wantFindings(t, run(t, "repro/internal/sim/fake", clockSrc),
+		"nowrand", "nowrand", "nowrand")
+}
+
+func TestNowRandExemptOutsideCore(t *testing.T) {
+	wantFindings(t, run(t, "repro/internal/layout/fake", clockSrc))
+}
+
+func TestMapRangeOrderIntoOutput(t *testing.T) {
+	diags := run(t, "repro/internal/report/fake", `package fake
+
+import (
+	"fmt"
+	"strings"
+)
+
+func render(m map[string]int) string {
+	var sb strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&sb, "%s=%d\n", k, v)
+	}
+	return sb.String()
+}
+`)
+	wantFindings(t, diags, "maprange")
+	if !strings.Contains(diags[0].Message, "fmt.Fprintf") {
+		t.Errorf("message %q does not name the sink", diags[0].Message)
+	}
+}
+
+func TestMapRangeCollectThenSortClean(t *testing.T) {
+	wantFindings(t, run(t, "repro/internal/report/fake", `package fake
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func render(m map[string]int) (string, error) {
+	var keys []string
+	for k, v := range m {
+		if v < 0 {
+			// Constant message: no iteration-order data escapes.
+			return "", fmt.Errorf("negative count")
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s=%d\n", k, m[k])
+	}
+	return sb.String(), nil
+}
+`))
+}
+
+func TestPtrFmt(t *testing.T) {
+	wantFindings(t, run(t, "repro/internal/report/fake", `package fake
+
+import "fmt"
+
+func describe(v *int) (string, string) {
+	return fmt.Sprintf("at %p", v), fmt.Sprintf("value %d", *v)
+}
+`), "ptrfmt")
+}
+
+// TestModuleSelfClean loads the whole repository through the production
+// loader and requires every analyzer to come back clean — the same gate
+// `make check` runs via cmd/protovet.
+func TestModuleSelfClean(t *testing.T) {
+	pkgs, err := vet.LoadAll("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loader found only %d packages", len(pkgs))
+	}
+	if diags := vet.RunAnalyzers(pkgs, vet.Analyzers()); len(diags) > 0 {
+		for _, d := range diags {
+			t.Error(d)
+		}
+	}
+}

@@ -358,3 +358,22 @@ var (
 // VerifyUnitStats re-checks the frame-conservation and injector
 // reconciliation invariants from one soak unit's recorded stats.
 var VerifyUnitStats = soak.VerifyUnitStats
+
+// LintCell is one version's static layout-lint verdict (see internal/verify):
+// the predicted i-cache footprint, replacement misses, and bipartite-partition
+// violations of the version's linked image, computed from placed addresses
+// alone.
+type LintCell = core.LintCell
+
+// LintStudy lints every version's linked image for a stack — a purely static
+// sweep, no simulation. RenderLintStudy formats the cells as the text report
+// `protolat -lint` prints; LintStudyDocOf as the document's verify section.
+func LintStudy(kind StackKind, strat CloneStrategy) ([]LintCell, error) {
+	return core.LintStudy(kind, strat)
+}
+
+// Lint-study renderers (text and JSON).
+var (
+	RenderLintStudy = core.RenderLintStudy
+	LintStudyDocOf  = core.LintStudyDocOf
+)

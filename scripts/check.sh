@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification in one command: formatting, godoc coverage on the
-# public surfaces, vet, build, the full test suite under the race
-# detector (the parallel runner and the fault-injection paths are both
-# exercised), the fixed-seed fault-study smoke test with its
-# golden-output diff, and the CLI documentation drift gate.
+# public surfaces, vet (toolchain and the repo's own determinism
+# analyzers), build, the full test suite under the race detector (the
+# parallel runner and the fault-injection paths are both exercised), the
+# fixed-seed fault-study and layout-lint smoke tests with their
+# golden-output diffs, and the CLI documentation drift gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,7 +19,7 @@ fi
 # Doc-comment gate: every exported top-level declaration in the packages
 # that form the repo's API surface must carry a doc comment.
 undocumented=$(
-	find . internal/core internal/faults internal/layout internal/obs \
+	find . internal/core internal/faults internal/layout internal/obs internal/verify internal/vet \
 		-maxdepth 1 -name '*.go' ! -name '*_test.go' |
 		while read -r f; do
 			awk -v f="$f" '
@@ -35,7 +36,9 @@ fi
 
 go vet ./...
 go build ./...
+go run ./cmd/protovet
 go test -race ./...
 ./scripts/fault_smoke.sh
 ./scripts/soak_smoke.sh
+./scripts/lint_smoke.sh
 ./scripts/doc_check.sh

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Layout-lint smoke test: run the static lint for both stacks and diff the
+# report against the checked-in golden. The lint is pure static analysis of
+# placed addresses, so its output is exactly reproducible; any drift means
+# the layout engine or the lint model changed and the golden (and the
+# claims in DESIGN.md §12) need a fresh look.
+#
+#   REGEN=1 ./scripts/lint_smoke.sh   # refresh testdata/lint_smoke.golden
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+golden=testdata/lint_smoke.golden
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# The report must rank the adversarial layout worst and the bipartite
+# layouts clean, independent of the golden: these are the §3.2 claims the
+# lint exists to check statically.
+for stack in tcpip rpc; do
+    go run ./cmd/protolat -lint -stack "$stack" > "$tmp/$stack.txt"
+    awk -v stack="$stack" '
+        /^BAD +[0-9]+ +[0-9]+/  {bad = $3}
+        /^STD +[0-9]+ +[0-9]+/  {std = $3}
+        /^CLO +[0-9]+ +[0-9]+/  {clo = $3}
+        /^ALL +[0-9]+ +[0-9]+/  {all = $3}
+        END {
+            if (bad == "" || std == "" || bad + 0 <= std + 0) {
+                print "FAIL: " stack ": lint does not rank BAD (" bad ") above STD (" std ")"
+                exit 1
+            }
+            if (clo + 0 != 0 || all + 0 != 0) {
+                print "FAIL: " stack ": bipartite layouts predict conflicts (CLO " clo ", ALL " all ")"
+                exit 1
+            }
+        }' "$tmp/$stack.txt" || exit 1
+    cat "$tmp/$stack.txt" >> "$tmp/lint.txt"
+done
+
+if [[ "${REGEN:-0}" = "1" ]]; then
+    mkdir -p testdata
+    cp "$tmp/lint.txt" "$golden"
+    echo "regenerated $golden"
+    exit 0
+fi
+
+diff -u "$golden" "$tmp/lint.txt" || {
+    echo "FAIL: lint report drifted from $golden (REGEN=1 to accept)" >&2
+    exit 1
+}
+echo "lint smoke OK: BAD worst, bipartite clean, matching golden"
