@@ -1,6 +1,6 @@
 # Tier-1 verification and perf-trajectory targets.
 
-.PHONY: check vet bench-parallel bench-soak test build
+.PHONY: check vet bench bench-parallel bench-soak profile test build
 
 check: ## vet + build + race-enabled tests, one command
 	./scripts/check.sh
@@ -9,11 +9,16 @@ vet: ## toolchain vet plus the repo's determinism analyzers (cmd/protovet)
 	go vet ./...
 	go run ./cmd/protovet
 
+bench: bench-parallel bench-soak ## refresh both BENCH_*.json perf records
+
 bench-parallel: ## record BENCH_parallel.json (parallel runner + build cache)
 	./scripts/bench_parallel.sh
 
 bench-soak: ## record BENCH_soak.json (soak harness: full run + per-unit cost)
 	./scripts/bench_soak.sh
+
+profile: ## capture CPU+alloc pprof profiles of the hot workloads into profiles/
+	./scripts/profile.sh
 
 build:
 	go build ./...

@@ -118,6 +118,12 @@ func (e *Engine) call(name string, env Env, depth int) error {
 	if e.Attr != nil {
 		e.Attr.EnterFunc(name)
 	}
+	// The observer and CPU cannot change while a model executes (hooks are
+	// installed between Run invocations, never from model code), so hoist
+	// them out of the per-instruction loop: the common observer-less case
+	// then pays nothing per step.
+	obs := e.Observer
+	c := e.cpu
 	pb := pl.entry
 	for {
 		addr := pb.addr
@@ -135,7 +141,10 @@ func (e *Engine) call(name string, env Env, depth int) error {
 				// them, but keep the entry well-formed.
 				entry.Taken = false
 			}
-			e.step(entry)
+			if obs != nil {
+				obs(entry)
+			}
+			c.Step(entry)
 			addr += instrBytes
 			if in.Call != "" && in.Op == arch.OpJump {
 				if err := e.call(in.Call, env, depth+1); err != nil {

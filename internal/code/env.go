@@ -14,14 +14,33 @@ type Env interface {
 	Addr(name string) (base uint64, ok bool)
 }
 
+// stackName is the distinguished operand naming the current thread stack;
+// it is bound and queried on the hottest engine path (every unnamed memory
+// operand), so Binding keeps it in a field rather than the address map.
+const stackName = "$stack"
+
+// condEntry is one condition binding. Exactly one representation is live:
+// a queued count (consulted first, matching the historical lookup order),
+// a closure, or a constant.
+type condEntry struct {
+	queue *countQueue
+	fn    func() bool
+	val   bool
+}
+
 // Binding is the standard Env implementation: a mutable set of condition
 // values/closures, queued loop counts, and address bindings. The zero value
 // is empty but usable after the first Set call; NewBinding is clearer.
+//
+// All three condition forms share one map so that Cond — which the engine
+// consults for every conditional branch — costs a single probe.
 type Binding struct {
-	conds  map[string]func() bool
+	conds  map[string]condEntry
 	addrs  map[string]uint64
-	counts map[string]*countQueue
 	parent Env
+
+	stack    uint64
+	hasStack bool
 }
 
 // NewBinding returns an empty binding. If parent is non-nil, lookups that
@@ -29,28 +48,50 @@ type Binding struct {
 // over long-lived per-connection ones.
 func NewBinding(parent Env) *Binding {
 	return &Binding{
-		conds:  map[string]func() bool{},
+		conds:  map[string]condEntry{},
 		addrs:  map[string]uint64{},
-		counts: map[string]*countQueue{},
 		parent: parent,
 	}
 }
 
-// Set fixes the named condition to a constant.
+// Reset empties the binding in place, keeping the allocated maps for
+// reuse — the per-event environment rebuild runs once per simulated event,
+// so recycling one Binding per host avoids re-allocating its maps each
+// time. The parent link is cleared too.
+func (b *Binding) Reset() {
+	clear(b.conds)
+	clear(b.addrs)
+	b.parent = nil
+	b.stack = 0
+	b.hasStack = false
+}
+
+// Set fixes the named condition to a constant. A queued count for the same
+// name keeps shadowing it, as it always has.
 func (b *Binding) Set(name string, v bool) *Binding {
-	b.conds[name] = func() bool { return v }
+	e := b.conds[name]
+	e.val, e.fn = v, nil
+	b.conds[name] = e
 	return b
 }
 
 // SetFunc binds the named condition to a closure evaluated on each query;
-// use it to read live protocol state.
+// use it to read live protocol state. A queued count for the same name
+// keeps shadowing it, as it always has.
 func (b *Binding) SetFunc(name string, f func() bool) *Binding {
-	b.conds[name] = f
+	e := b.conds[name]
+	e.fn = f
+	b.conds[name] = e
 	return b
 }
 
 // Bind fixes the base address of the named data object.
 func (b *Binding) Bind(name string, addr uint64) *Binding {
+	if name == stackName {
+		b.stack = addr
+		b.hasStack = true
+		return b
+	}
 	b.addrs[name] = addr
 	return b
 }
@@ -62,15 +103,15 @@ func (b *Binding) Bind(name string, addr uint64) *Binding {
 // a caller invoking the same library model several times pushes one count
 // per invocation, in call order.
 func (b *Binding) PushCount(name string, n int) *Binding {
-	q := b.counts[name]
-	if q == nil {
-		q = &countQueue{}
-		b.counts[name] = q
+	e := b.conds[name]
+	if e.queue == nil {
+		e.queue = &countQueue{}
+		b.conds[name] = e
 	}
 	if n < 1 {
 		n = 1
 	}
-	q.vals = append(q.vals, n-1)
+	e.queue.vals = append(e.queue.vals, n-1)
 	return b
 }
 
@@ -118,11 +159,16 @@ func (q *countQueue) next() bool {
 
 // Cond implements Env.
 func (b *Binding) Cond(name string) bool {
-	if q, ok := b.counts[name]; ok {
-		return q.next()
-	}
-	if f, ok := b.conds[name]; ok {
-		return f()
+	if e, ok := b.conds[name]; ok {
+		// A queued count shadows any value or closure for the name,
+		// even once exhausted — the historical lookup order.
+		if e.queue != nil {
+			return e.queue.next()
+		}
+		if e.fn != nil {
+			return e.fn()
+		}
+		return e.val
 	}
 	if b.parent != nil {
 		return b.parent.Cond(name)
@@ -132,7 +178,11 @@ func (b *Binding) Cond(name string) bool {
 
 // Addr implements Env.
 func (b *Binding) Addr(name string) (uint64, bool) {
-	if a, ok := b.addrs[name]; ok {
+	if name == stackName {
+		if b.hasStack {
+			return b.stack, true
+		}
+	} else if a, ok := b.addrs[name]; ok {
 		return a, true
 	}
 	if b.parent != nil {

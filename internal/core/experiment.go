@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime/debug"
+	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/classifier"
@@ -330,7 +331,11 @@ func buildPair(cfg Config, sampleIdx, roundtrips int) (*hostPair, error) {
 	q := xkernel.NewEventQueue()
 	link := netsim.NewLink(q)
 	mkHost := func(name string, prog *code.Program, perturb uint64) *xkernel.Host {
-		hm := mem.New(m)
+		// Hierarchies come from the reuse pool: they dominate per-sample
+		// allocation (the b-cache line array alone is hundreds of KB) and
+		// a pooled one resets to cold in O(1), so samples stop churning
+		// the garbage collector. runSample releases them when done.
+		hm := mem.NewPooled(m)
 		c := cpu.New(hm)
 		return xkernel.NewHost(name, c, hm, code.NewEngine(c, prog), q, perturb)
 	}
@@ -480,10 +485,29 @@ type addrBitset struct {
 	count int
 }
 
+// bitsetPool recycles the coverage word arrays between samples; they are
+// zeroed on reuse, so a pooled bitset is indistinguishable from a fresh one.
+var bitsetPool sync.Pool
+
 func newAddrBitset(textBase, textEnd uint64, shift uint) *addrBitset {
 	base := textBase >> shift
-	n := textEnd>>shift - base + 1
-	return &addrBitset{base: base, shift: shift, words: make([]uint64, (n+63)/64)}
+	n := (textEnd>>shift - base + 1 + 63) / 64
+	if v := bitsetPool.Get(); v != nil {
+		if words := v.([]uint64); uint64(cap(words)) >= n {
+			words = words[:n]
+			clear(words)
+			return &addrBitset{base: base, shift: shift, words: words}
+		}
+		// Too small for this image: drop it and allocate to fit.
+	}
+	return &addrBitset{base: base, shift: shift, words: make([]uint64, n)}
+}
+
+// release returns the word array to the pool; the bitset must not be used
+// afterwards.
+func (s *addrBitset) release() {
+	bitsetPool.Put(s.words)
+	s.words = nil
 }
 
 // add marks an address; out-of-range addresses (nothing the engine emits)
@@ -624,7 +648,7 @@ func runSample(cfg Config, sampleIdx int) (s Sample, err error) {
 		prof = col.Profile()
 	}
 
-	return Sample{
+	s = Sample{
 		TeUS:             te,
 		TpUS:             float64(traceMetrics.Cycles) / m.CyclesPerMicrosecond(),
 		TraceLen:         float64(traceMetrics.Instructions),
@@ -639,5 +663,20 @@ func runSample(cfg Config, sampleIdx int) (s Sample, err error) {
 		Faults:           hp.faultStats(),
 		Phases:           phaseSplit(phaseStart, phaseEnd, stamps[roundtrips-1]-stamps[cfg.Warmup-1], m).Scale(1 / M),
 		Profile:          prof,
-	}, nil
+	}
+	// Everything the sample needs has been copied out; hand the pooled
+	// per-sample state back for the next sample to reuse. Error and panic
+	// paths skip this — the pool simply sees fewer returns.
+	executed.release()
+	fetchedBlocks.release()
+	hp.release()
+	return s, nil
+}
+
+// release returns the pair's pooled simulation state for reuse. Call only
+// after the run has completed and its statistics have been extracted; the
+// hosts must not be touched afterwards.
+func (hp *hostPair) release() {
+	hp.clientHost.Mem.Release()
+	hp.serverHost.Mem.Release()
 }

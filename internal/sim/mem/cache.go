@@ -44,16 +44,27 @@ func (s Stats) String() string {
 
 // cache is one set-associative (LRU) cache level; associativity 1 gives
 // the DEC 3000/600's direct-mapped behaviour.
+//
+// Storage is flat and pointer-free: lines holds assoc block numbers per
+// set (MRU first), and a line is valid only while its stamp matches the
+// cache's current generation. Resetting the cache is a generation bump
+// rather than a sweep, so a pooled hierarchy restarts cold in O(1) and the
+// backing arrays never re-enter the garbage collector's scan set.
 type cache struct {
 	blockShift uint
 	setMask    uint64
-	assoc      int
-	// ways[set] holds the resident block numbers of a set in LRU order:
-	// index 0 is the most recently used way.
-	ways [][]uint64
-	// seen records every block number touched this epoch, for
-	// classifying misses as cold vs. replacement.
-	seen map[uint64]struct{}
+	assoc      uint64
+	// lines[set*assoc .. set*assoc+assoc) are the resident block numbers
+	// of a set in LRU order (index 0 within the stride is MRU). A slot is
+	// valid only if stamps carries the current generation; valid slots
+	// always form a prefix of the stride because fills insert at the
+	// front.
+	lines  []uint64
+	stamps []uint32
+	gen    uint32
+	// seen records every block number missed on this epoch, for
+	// classifying later misses as cold vs. replacement.
+	seen u64set
 }
 
 func newCache(sizeBytes, blockBytes, assoc int) *cache {
@@ -65,13 +76,16 @@ func newCache(sizeBytes, blockBytes, assoc int) *cache {
 	for 1<<shift != blockBytes {
 		shift++
 	}
-	return &cache{
+	c := &cache{
 		blockShift: shift,
 		setMask:    uint64(sets - 1),
-		assoc:      assoc,
-		ways:       make([][]uint64, sets),
-		seen:       make(map[uint64]struct{}),
+		assoc:      uint64(assoc),
+		lines:      make([]uint64, sets*assoc),
+		stamps:     make([]uint32, sets*assoc),
+		gen:        1,
 	}
+	c.seen.init(1024)
+	return c
 }
 
 func (c *cache) block(addr uint64) uint64 { return addr >> c.blockShift }
@@ -80,8 +94,12 @@ func (c *cache) block(addr uint64) uint64 { return addr >> c.blockShift }
 // touching statistics, contents, or LRU order.
 func (c *cache) present(addr uint64) bool {
 	b := c.block(addr)
-	for _, w := range c.ways[b&c.setMask] {
-		if w == b {
+	base := (b & c.setMask) * c.assoc
+	for i := uint64(0); i < c.assoc; i++ {
+		if c.stamps[base+i] != c.gen {
+			return false
+		}
+		if c.lines[base+i] == b {
 			return true
 		}
 	}
@@ -93,38 +111,129 @@ func (c *cache) present(addr uint64) bool {
 // on a miss, whether the miss is a replacement miss (block was resident
 // earlier this epoch).
 func (c *cache) access(addr uint64) (hit, repl bool) {
-	b := c.block(addr)
-	set := b & c.setMask
-	wl := c.ways[set]
-	for i, w := range wl {
-		if w == b {
+	b := addr >> c.blockShift
+	base := (b & c.setMask) * c.assoc
+	g := c.gen
+	if c.assoc == 1 {
+		// Direct-mapped fast path: one compare, no LRU bookkeeping.
+		if c.stamps[base] == g && c.lines[base] == b {
+			return true, false
+		}
+		c.lines[base] = b
+		c.stamps[base] = g
+		return false, c.seen.add(b)
+	}
+	lines := c.lines[base : base+c.assoc]
+	stamps := c.stamps[base : base+c.assoc]
+	for i := range lines {
+		if stamps[i] != g {
+			break
+		}
+		if lines[i] == b {
 			// Move to the MRU position.
-			copy(wl[1:i+1], wl[:i])
-			wl[0] = b
+			copy(lines[1:i+1], lines[:i])
+			lines[0] = b
 			return true, false
 		}
 	}
-	_, seenBefore := c.seen[b]
-	c.seen[b] = struct{}{}
-	if len(wl) < c.assoc {
-		wl = append(wl, 0)
-	}
-	copy(wl[1:], wl)
-	wl[0] = b
-	c.ways[set] = wl
+	seenBefore := c.seen.add(b)
+	copy(lines[1:], lines[:c.assoc-1])
+	copy(stamps[1:], stamps[:c.assoc-1])
+	lines[0] = b
+	stamps[0] = g
 	return false, seenBefore
 }
 
 // beginEpoch forgets the miss-classification history but keeps contents, so
 // that a measurement epoch starts with warm caches and zero counters.
-func (c *cache) beginEpoch() { c.seen = make(map[uint64]struct{}) }
+func (c *cache) beginEpoch() { c.seen.clear() }
 
-// reset empties the cache entirely (cold start).
+// reset empties the cache entirely (cold start) by bumping the validity
+// generation; the backing arrays are reused untouched.
 func (c *cache) reset() {
-	for i := range c.ways {
-		c.ways[i] = nil
+	c.gen++
+	if c.gen == 0 {
+		// The 32-bit generation wrapped: stale stamps could alias the new
+		// generation, so sweep them once and restart at 1.
+		clear(c.stamps)
+		c.gen = 1
 	}
-	c.seen = make(map[uint64]struct{})
+	c.seen.clear()
+}
+
+// u64set is a reusable open-addressing hash set of uint64 keys with
+// generation-based O(1) clearing: a slot is live only while its generation
+// matches the set's. Stale slots read as empty, which is consistent because
+// an entire generation goes stale at once, so probe chains never dangle.
+type u64set struct {
+	keys []uint64
+	gens []uint32
+	gen  uint32
+	n    int
+	mask uint64
+}
+
+// init sizes the set; capacity must be a power of two.
+func (s *u64set) init(capacity int) {
+	s.keys = make([]uint64, capacity)
+	s.gens = make([]uint32, capacity)
+	s.gen = 1
+	s.n = 0
+	s.mask = uint64(capacity - 1)
+}
+
+// hash64 is a deterministic 64-bit mix (the murmur3 finalizer).
+func hash64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// add inserts b and reports whether it was already present.
+func (s *u64set) add(b uint64) bool {
+	if s.n >= len(s.keys)-len(s.keys)/4 {
+		s.grow()
+	}
+	i := hash64(b) & s.mask
+	for s.gens[i] == s.gen {
+		if s.keys[i] == b {
+			return true
+		}
+		i = (i + 1) & s.mask
+	}
+	s.keys[i] = b
+	s.gens[i] = s.gen
+	s.n++
+	return false
+}
+
+func (s *u64set) grow() {
+	oldKeys, oldGens, oldGen := s.keys, s.gens, s.gen
+	s.init(len(oldKeys) * 2)
+	for i, g := range oldGens {
+		if g != oldGen {
+			continue
+		}
+		b := oldKeys[i]
+		j := hash64(b) & s.mask
+		for s.gens[j] == s.gen {
+			j = (j + 1) & s.mask
+		}
+		s.keys[j] = b
+		s.gens[j] = s.gen
+		s.n++
+	}
+}
+
+// clear empties the set in O(1) by bumping the generation.
+func (s *u64set) clear() {
+	s.n = 0
+	s.gen++
+	if s.gen == 0 {
+		clear(s.gens)
+		s.gen = 1
+	}
 }
 
 // writeBuffer models the 21064's 4-deep write buffer. Each entry holds one

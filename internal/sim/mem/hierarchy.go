@@ -1,6 +1,10 @@
 package mem
 
-import "repro/internal/arch"
+import (
+	"sync"
+
+	"repro/internal/arch"
+)
 
 // Hierarchy is the complete simulated memory system of one host. All methods
 // take the current virtual cycle ("now") and return the number of cycles the
@@ -12,6 +16,10 @@ type Hierarchy struct {
 	dcache *cache
 	bcache *cache
 	wbuf   *writeBuffer
+
+	// iShift mirrors icache.blockShift so the per-instruction fetch fast
+	// path needs no pointer chase into the cache struct.
+	iShift uint
 
 	// Single-entry sequential stream buffer between the i-cache and the
 	// b-cache. Every i-cache miss prefetches the next sequential block;
@@ -25,6 +33,14 @@ type Hierarchy struct {
 	streamBlock   uint64
 	streamValid   bool
 	streamReadyAt uint64
+
+	// lastIBlock memoizes the most recently fetched instruction block.
+	// Straight-line code fetches the same block for consecutive
+	// instructions, and only an i-cache fill can evict it — which would
+	// update the memo — so a matching memo is a guaranteed hit that needs
+	// no set lookup and no LRU update (the block is already MRU).
+	lastIBlock uint64
+	lastIValid bool
 
 	// IStats counts instruction fetches against the i-cache, DStats the
 	// combined d-cache/write-buffer behaviour, BStats the unified
@@ -49,14 +65,46 @@ func New(m arch.Machine) *Hierarchy {
 	if assoc < 1 {
 		assoc = 1
 	}
-	return &Hierarchy{
+	h := &Hierarchy{
 		m:      m,
 		icache: newCache(m.ICacheBytes, m.BlockBytes, assoc),
 		dcache: newCache(m.DCacheBytes, m.BlockBytes, assoc),
 		bcache: newCache(m.BCacheBytes, m.BlockBytes, 1),
 		wbuf:   newWriteBuffer(m.WriteBufferEntries, m.WriteRetireCycles),
 	}
+	h.iShift = h.icache.blockShift
+	return h
 }
+
+// hierPool recycles hierarchies between simulation samples. The cache
+// backing arrays dominate a sample's allocations (the b-cache alone has
+// tens of thousands of sets), and resetting a recycled hierarchy is a
+// generation bump rather than a rebuild, so reuse removes both the
+// allocator and the garbage collector from the per-sample critical path.
+var hierPool sync.Pool
+
+// NewPooled returns a cold hierarchy for machine m, reusing a previously
+// Released one when its machine matches. A recycled hierarchy is
+// indistinguishable from a fresh one: Reset restores cold caches, an empty
+// write buffer, zeroed statistics, and a nil OnIMiss hook, so results are
+// byte-identical whether or not reuse happened (a tested invariant).
+func NewPooled(m arch.Machine) *Hierarchy {
+	if v := hierPool.Get(); v != nil {
+		h := v.(*Hierarchy)
+		if h.m == m {
+			h.OnIMiss = nil
+			h.Reset()
+			return h
+		}
+		// Geometry mismatch (a machine-sweep interleaving): drop it and
+		// build fresh rather than keep probing the pool.
+	}
+	return New(m)
+}
+
+// Release returns h to the reuse pool. The caller must not touch h
+// afterwards; the next NewPooled with the same machine may hand it out.
+func (h *Hierarchy) Release() { hierPool.Put(h) }
 
 // Machine returns the machine description this hierarchy simulates.
 func (h *Hierarchy) Machine() arch.Machine { return h.m }
@@ -78,10 +126,25 @@ func (h *Hierarchy) bAccess(addr uint64, stallOnHit uint64) (stall uint64) {
 // FetchInstr simulates the instruction fetch for the instruction at addr.
 // Every dynamic instruction counts as one i-cache access, so
 // IStats.Accesses equals the dynamic instruction count, as in the paper.
+// The body is small enough to inline into cpu.Step; straight-line code
+// takes the memoized same-block path without a cache lookup — the block is
+// still resident (only an i-fill evicts i-cache lines, and any fill
+// updates the memo) and already in MRU position.
 func (h *Hierarchy) FetchInstr(now, addr uint64) (stall uint64) {
 	h.IStats.Accesses++
+	block := addr >> h.iShift
+	if h.lastIValid && block == h.lastIBlock {
+		return 0
+	}
+	return h.fetchSlow(now, addr, block)
+}
+
+// fetchSlow is the out-of-line continuation of FetchInstr: a real i-cache
+// lookup, and on a miss the stream-buffer/b-cache fill path.
+func (h *Hierarchy) fetchSlow(now, addr, block uint64) (stall uint64) {
 	hit, repl := h.icache.access(addr)
 	if hit {
+		h.lastIBlock, h.lastIValid = block, true
 		return 0
 	}
 	h.IStats.Misses++
@@ -91,7 +154,6 @@ func (h *Hierarchy) FetchInstr(now, addr uint64) (stall uint64) {
 	if h.OnIMiss != nil {
 		h.OnIMiss(addr, repl)
 	}
-	block := addr >> uint64(h.icache.blockShift)
 	if h.streamValid && h.streamBlock == block {
 		// The block was sequentially prefetched: cheap fill, plus
 		// however long the prefetch itself still needs to arrive.
@@ -102,6 +164,8 @@ func (h *Hierarchy) FetchInstr(now, addr uint64) (stall uint64) {
 	} else {
 		stall = h.bAccess(addr, uint64(h.m.BCacheHitCycles))
 	}
+	// The miss filled the block, so it is resident (and MRU) now.
+	h.lastIBlock, h.lastIValid = block, true
 	// Prefetch the next sequential block into the stream buffer unless it
 	// is already resident; this is an extra b-cache access that overlaps
 	// execution (the CPU only stalls if it catches up with it).
@@ -177,6 +241,7 @@ func (h *Hierarchy) Reset() {
 	h.bcache.reset()
 	h.wbuf.reset()
 	h.streamValid = false
+	h.lastIValid = false
 }
 
 // ICachePresent reports whether the i-cache currently holds the block

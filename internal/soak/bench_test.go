@@ -1,6 +1,7 @@
 package soak
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -14,10 +15,14 @@ func benchConfig() Config {
 	return cfg
 }
 
-// BenchmarkSoakRun times one full quick-schedule soak per worker-pool width;
-// compare workers=1 against workers=N for the wall-clock speedup.
+// BenchmarkSoakRun times one full quick-schedule soak per worker-pool width.
+// The workers=max sub-benchmark reports its speedup over the workers=1 run
+// of the same invocation and the parallel efficiency relative to
+// GOMAXPROCS; both sub-benchmarks run sequentially in one process, so the
+// baseline is apples-to-apples.
 func BenchmarkSoakRun(b *testing.B) {
 	defer core.SetParallelism(0)
+	var baselineNS float64
 	for _, workers := range []int{1, 0} {
 		name := "workers=max"
 		if workers == 1 {
@@ -29,6 +34,14 @@ func BenchmarkSoakRun(b *testing.B) {
 				if _, err := Run(benchConfig()); err != nil {
 					b.Fatal(err)
 				}
+			}
+			ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if workers == 1 {
+				baselineNS = ns
+			} else if baselineNS > 0 {
+				speedup := baselineNS / ns
+				b.ReportMetric(speedup, "speedup")
+				b.ReportMetric(speedup/float64(runtime.GOMAXPROCS(0))*100, "parallel-eff-%")
 			}
 		})
 	}

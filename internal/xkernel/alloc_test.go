@@ -1,0 +1,55 @@
+package xkernel
+
+import "testing"
+
+// TestEventQueueAllocsPerEvent pins the event queue's schedule/fire cycle at
+// exactly one heap object per scheduled event: the TimerEvent handle itself.
+// The heap's backing slice is reused across the run (warmed below), sift-up
+// and sift-down work in place, and firing allocates nothing — so a regression
+// here means the queue hot path grew a hidden allocation.
+func TestEventQueueAllocsPerEvent(t *testing.T) {
+	q := NewEventQueue()
+	fn := func() {}
+	// Warm the heap's backing array so append growth doesn't count.
+	for i := 0; i < 64; i++ {
+		q.ScheduleAt(uint64(i), fn)
+	}
+	for q.RunNext() {
+	}
+
+	const batch = 32
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < batch; i++ {
+			q.Schedule(uint64(i%7), fn)
+		}
+		for q.RunNext() {
+		}
+	})
+	perEvent := allocs / batch
+	if perEvent > 1 {
+		t.Fatalf("event queue allocates %.2f objects per event, want <= 1 (the TimerEvent handle)", perEvent)
+	}
+}
+
+// TestEventQueuePendingIsLiveCount locks in the O(1) Pending contract:
+// cancelled events must not keep Pending true, and firing the last live
+// event must flip it false even with cancelled debris still in the heap.
+func TestEventQueuePendingIsLiveCount(t *testing.T) {
+	q := NewEventQueue()
+	a := q.Schedule(5, func() {})
+	b := q.Schedule(10, func() {})
+	if !q.Pending() {
+		t.Fatal("Pending = false with two live events")
+	}
+	b.Cancel()
+	if !q.Pending() {
+		t.Fatal("Pending = false with one live event")
+	}
+	a.Cancel()
+	if q.Pending() {
+		t.Fatal("Pending = true with only cancelled events queued")
+	}
+	if q.RunNext() {
+		t.Fatal("RunNext fired a cancelled event")
+	}
+}

@@ -1,16 +1,22 @@
 package xkernel
 
-import "container/heap"
-
 // EventQueue is a virtual-time event scheduler. Time is measured in CPU
 // cycles (both simulated hosts run at the same 175 MHz clock, so a single
 // cycle domain serves the whole simulation). The network simulator uses one
 // queue as the global clock; protocol timers (TCP retransmission, BLAST
 // NACKs) schedule onto the same queue through the Host plumbing.
+//
+// The queue is a hand-rolled binary heap over a flat slice rather than
+// container/heap: the interface-based heap boxes every element and pays an
+// indirect call per sift comparison, and this queue sits on the per-event
+// critical path of every simulation sample. It also tracks the number of
+// live (un-cancelled, un-fired) events so Pending is O(1) instead of a
+// scan.
 type EventQueue struct {
 	now   uint64
 	seq   uint64
-	items eventHeap
+	live  int
+	items []*TimerEvent
 }
 
 // TimerEvent is a scheduled callback; it can be cancelled before it fires.
@@ -18,30 +24,19 @@ type TimerEvent struct {
 	at        uint64
 	seq       uint64
 	fn        func()
+	q         *EventQueue
 	cancelled bool
+	fired     bool
 }
 
 // Cancel prevents the event from firing. Cancelling a fired or already
 // cancelled event is a no-op.
-func (ev *TimerEvent) Cancel() { ev.cancelled = true }
-
-type eventHeap []*TimerEvent
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (ev *TimerEvent) Cancel() {
+	if ev.cancelled || ev.fired {
+		return
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*TimerEvent)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+	ev.cancelled = true
+	ev.q.live--
 }
 
 // NewEventQueue returns an empty queue at time zero.
@@ -50,14 +45,74 @@ func NewEventQueue() *EventQueue { return &EventQueue{} }
 // Now returns the current virtual time in cycles.
 func (q *EventQueue) Now() uint64 { return q.now }
 
+// before reports whether a fires before b: earlier time first, scheduling
+// order breaking ties.
+func before(a, b *TimerEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push adds ev to the heap and sifts it up to its position.
+func (q *EventQueue) push(ev *TimerEvent) {
+	q.items = append(q.items, ev)
+	items := q.items
+	i := len(items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !before(ev, items[parent]) {
+			break
+		}
+		items[i] = items[parent]
+		i = parent
+	}
+	items[i] = ev
+}
+
+// pop removes and returns the earliest event, or nil on an empty heap.
+func (q *EventQueue) pop() *TimerEvent {
+	items := q.items
+	n := len(items)
+	if n == 0 {
+		return nil
+	}
+	top := items[0]
+	last := items[n-1]
+	items[n-1] = nil
+	q.items = items[:n-1]
+	n--
+	if n > 0 {
+		// Sift last down from the root.
+		i := 0
+		for {
+			child := 2*i + 1
+			if child >= n {
+				break
+			}
+			if r := child + 1; r < n && before(items[r], items[child]) {
+				child = r
+			}
+			if !before(items[child], last) {
+				break
+			}
+			items[i] = items[child]
+			i = child
+		}
+		items[i] = last
+	}
+	return top
+}
+
 // ScheduleAt registers fn to run at absolute time at (clamped to now).
 func (q *EventQueue) ScheduleAt(at uint64, fn func()) *TimerEvent {
 	if at < q.now {
 		at = q.now
 	}
-	ev := &TimerEvent{at: at, seq: q.seq, fn: fn}
+	ev := &TimerEvent{at: at, seq: q.seq, fn: fn, q: q}
 	q.seq++
-	heap.Push(&q.items, ev)
+	q.live++
+	q.push(ev)
 	return ev
 }
 
@@ -67,42 +122,41 @@ func (q *EventQueue) Schedule(delay uint64, fn func()) *TimerEvent {
 }
 
 // Pending reports whether any un-cancelled events remain.
-func (q *EventQueue) Pending() bool {
-	for _, ev := range q.items {
-		if !ev.cancelled {
-			return true
-		}
-	}
-	return false
-}
+func (q *EventQueue) Pending() bool { return q.live > 0 }
 
 // RunNext advances the clock to the earliest event and runs it, skipping
 // cancelled events. It reports whether an event ran.
 func (q *EventQueue) RunNext() bool {
-	for q.items.Len() > 0 {
-		ev := heap.Pop(&q.items).(*TimerEvent)
+	for {
+		ev := q.pop()
+		if ev == nil {
+			return false
+		}
 		if ev.cancelled {
 			continue
 		}
+		ev.fired = true
+		q.live--
 		q.now = ev.at
 		ev.fn()
 		return true
 	}
-	return false
 }
 
 // RunUntil executes events in order until the queue is exhausted or the next
 // event lies beyond t; the clock ends at min(t, last event time).
 func (q *EventQueue) RunUntil(t uint64) {
-	for q.items.Len() > 0 {
+	for len(q.items) > 0 {
 		ev := q.items[0]
 		if ev.at > t {
 			break
 		}
-		heap.Pop(&q.items)
+		q.pop()
 		if ev.cancelled {
 			continue
 		}
+		ev.fired = true
+		q.live--
 		q.now = ev.at
 		ev.fn()
 	}

@@ -63,12 +63,19 @@ func NewHost(name string, c *cpu.CPU, h *mem.Hierarchy, engine *code.Engine, q *
 
 // BeginEvent marks the start of an event handler: the processing-time epoch
 // is reset and the condition environment rebuilt from the registered hooks.
+// The Binding object is recycled across events (nothing retains it past the
+// event — every handler starts here and rebuilds it from the hooks), which
+// keeps the per-event hot path free of map allocation.
 func (h *Host) BeginEvent(frame []byte) {
 	if h.CPU != nil {
 		h.epochStart = h.CPU.Now()
 	}
 	h.CurrentFrame = frame
-	h.Env = code.NewBinding(nil)
+	if h.Env == nil {
+		h.Env = code.NewBinding(nil)
+	} else {
+		h.Env.Reset()
+	}
 	if h.CurrentStack != 0 {
 		h.Env.Bind("$stack", h.CurrentStack)
 	}

@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
 # Records the perf trajectory of the soak harness: runs the soak benchmarks
 # and writes the go-test JSON event stream to BENCH_soak.json at the repo
-# root. Compare ns/op between the workers=1 and workers=max sub-benchmarks
-# of BenchmarkSoakRun for the parallel speedup; BenchmarkSoakUnit is the
-# per-unit cost of the harness's inner loop.
+# root.
+#
+# Methodology: fixed "Nx" BENCHTIME (identical work per width) repeated
+# BENCHCOUNT times so jitter is visible in the stream. The workers=max
+# sub-benchmark of BenchmarkSoakRun self-reports "speedup" (vs workers=1 in
+# the same invocation) and "parallel-eff-%" (speedup/GOMAXPROCS);
+# BenchmarkSoakUnit is the per-unit cost of the harness's inner loop.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-3x}"
+BENCHCOUNT="${BENCHCOUNT:-2}"
 go test -run '^$' -bench 'BenchmarkSoakRun|BenchmarkSoakUnit' \
-	-benchtime "$BENCHTIME" -json ./internal/soak > BENCH_soak.json
+	-benchtime "$BENCHTIME" -count "$BENCHCOUNT" -json ./internal/soak > BENCH_soak.json
 echo "wrote BENCH_soak.json ($(grep -c '"Action"' BENCH_soak.json) events)"
 grep -o '"Output":"Benchmark[^"]*"' BENCH_soak.json || true
 grep -o '[0-9.]* ns/op' BENCH_soak.json || true

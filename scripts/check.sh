@@ -4,7 +4,11 @@
 # analyzers), build, the full test suite under the race detector (the
 # parallel runner and the fault-injection paths are both exercised), the
 # fixed-seed fault-study and layout-lint smoke tests with their
-# golden-output diffs, and the CLI documentation drift gate.
+# golden-output diffs, and the CLI documentation drift gate. Perf records
+# are separate: `make bench` refreshes BENCH_*.json and `make profile`
+# captures pprof artifacts; neither is part of the tier-1 gate because
+# wall-clock numbers are machine-dependent (the allocation-regression
+# tests run here guard the hot path instead).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
