@@ -19,6 +19,8 @@
 //	protolat -profile -top 8                      # per-function mCPI attribution
 //	protolat -lint                                # static layout lint, no simulation
 //	protolat -table 7 -json out.json              # structured export + manifest
+//	protolat -serve -addr :8080 -store /var/lib/protolat   # experiment daemon
+//	protolat -submit spec.json -addr localhost:8080        # submit a spec to it
 //
 // See docs/CLI.md for the complete flag reference with worked examples.
 //
@@ -29,11 +31,15 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"strings"
+	"time"
 
 	"repro"
 )
@@ -63,6 +69,11 @@ func main() {
 		top      = flag.Int("top", 10, "functions listed per version in -profile output")
 		jsonPath = flag.String("json", "", "also write the run as a structured JSON document (manifest + data) to this path")
 		parallel = flag.Int("parallel", 0, "worker pool for samples and table cells (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
+		serveM   = flag.Bool("serve", false, "run the experiment daemon: accept specs over HTTP, memoize results in -store, recover after crashes")
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address for -serve (\":0\" picks a free port, announced on stderr) and daemon address for -submit")
+		storeDir = flag.String("store", "protolat-store", "store directory for -serve: memoized documents, the journaled job queue, soak checkpoints")
+		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "how long -serve waits for in-flight jobs on SIGTERM before cancelling them (journals survive for restart)")
+		submit   = flag.String("submit", "", "submit a spec file (\"-\" = stdin) to the daemon at -addr and print the resulting document")
 	)
 	flag.Parse()
 	repro.SetParallelism(*parallel)
@@ -93,6 +104,19 @@ func main() {
 	}
 
 	switch {
+	case *serveM:
+		srv, err := repro.NewServer(repro.ServeConfig{
+			Addr:         *addr,
+			StoreDir:     *storeDir,
+			DrainTimeout: *drainTO,
+			GitDescribe:  gitDescribe(),
+		})
+		check(err)
+		check(srv.ListenAndServe())
+
+	case *submit != "":
+		check(submitSpec(*addr, *submit))
+
 	case *soakrun:
 		cfg := repro.DefaultSoak(kind, *seed)
 		if *quality == "paper" {
@@ -353,6 +377,41 @@ func runOne(kind repro.StackKind, version string, samples int, classify bool, po
 			doc.Runs = []repro.RunExport{repro.RunDoc(res)}
 			return nil
 		})
+}
+
+// submitSpec posts a spec file to the daemon at addr and prints the
+// resulting document to stdout; cache/fingerprint metadata goes to stderr.
+func submitSpec(addr, path string) error {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post("http://"+addr+"/v1/experiments", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		hint := ""
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			hint = " (retry after " + ra + "s)"
+		}
+		return fmt.Errorf("daemon returned %s%s: %s", resp.Status, hint, strings.TrimSpace(string(body)))
+	}
+	fmt.Fprintf(os.Stderr, "cache: %s  fingerprint: %s\n",
+		resp.Header.Get("X-Protolat-Cache"), resp.Header.Get("X-Protolat-Fingerprint"))
+	_, err = os.Stdout.Write(body)
+	return err
 }
 
 func parseRates(s string) []float64 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime/debug"
@@ -225,6 +226,15 @@ func (r *Result) ICPIMean() float64 {
 // and assemble in index order, making the result identical to serial
 // execution.
 func Run(cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with cooperative cancellation: ctx is consulted between
+// samples (each individual sample is already bounded by the event-budget
+// watchdog), so a cancelled or expired context stops the experiment at the
+// next sample boundary with the context's error instead of requiring the
+// process to be killed.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Samples < 1 {
 		cfg.Samples = 1
 	}
@@ -236,7 +246,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res := &Result{Config: cfg}
 	samples := make([]Sample, cfg.Samples)
-	err := forEachIndexed(cfg.Samples, Parallelism(), func(i int) error {
+	err := forEachIndexedCtx(ctx, cfg.Samples, Parallelism(), func(i int) error {
 		s, err := runSample(cfg, i)
 		if err != nil {
 			return fmt.Errorf("core: sample %d: %w", i, err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -95,6 +96,13 @@ func (c FaultCell) Penalty() float64 {
 // run serially with per-sample derived seeds, so the result is identical
 // at any parallelism.
 func FaultStudy(cfg FaultStudyConfig) ([]FaultCell, error) {
+	return FaultStudyCtx(context.Background(), cfg)
+}
+
+// FaultStudyCtx is FaultStudy with cooperative cancellation: ctx is checked
+// between cells and between the samples within a cell, so a cancelled
+// context stops the study at the next sample boundary.
+func FaultStudyCtx(ctx context.Context, cfg FaultStudyConfig) ([]FaultCell, error) {
 	if len(cfg.Rates) == 0 || len(cfg.Versions) == 0 {
 		d := DefaultFaultStudy(cfg.Stack, cfg.Seed)
 		if len(cfg.Rates) == 0 {
@@ -109,8 +117,8 @@ func FaultStudy(cfg FaultStudyConfig) ([]FaultCell, error) {
 	}
 	nr := len(cfg.Rates)
 	cells := make([]FaultCell, len(cfg.Versions)*nr)
-	err := forEachIndexed(len(cells), Parallelism(), func(i int) error {
-		cell, err := runFaultCell(cfg, cfg.Versions[i/nr], cfg.Rates[i%nr], i)
+	err := forEachIndexedCtx(ctx, len(cells), Parallelism(), func(i int) error {
+		cell, err := runFaultCell(ctx, cfg, cfg.Versions[i/nr], cfg.Rates[i%nr], i)
 		if err != nil {
 			return fmt.Errorf("fault study %v rate %.2f: %w", cfg.Versions[i/nr], cfg.Rates[i%nr], err)
 		}
@@ -124,8 +132,8 @@ func FaultStudy(cfg FaultStudyConfig) ([]FaultCell, error) {
 }
 
 // runFaultCell measures one (version, rate) point over the configured
-// samples.
-func runFaultCell(cfg FaultStudyConfig, v Version, rate float64, cellIdx int) (FaultCell, error) {
+// samples, consulting ctx between samples.
+func runFaultCell(ctx context.Context, cfg FaultStudyConfig, v Version, rate float64, cellIdx int) (FaultCell, error) {
 	rcfg := DefaultConfig(cfg.Stack, v)
 	rcfg.Warmup = cfg.Quality.Warmup
 	rcfg.Measured = cfg.Quality.Measured
@@ -144,6 +152,9 @@ func runFaultCell(cfg FaultStudyConfig, v Version, rate float64, cellIdx int) (F
 	var cleanSum, degradedSum float64
 	var cleanPh, degradedPh obs.PhaseSplit
 	for s := 0; s < rcfg.Samples; s++ {
+		if err := ctx.Err(); err != nil {
+			return cell, err
+		}
 		fs, err := runFaultSample(rcfg, s)
 		if err != nil {
 			return cell, fmt.Errorf("sample %d: %w", s, err)
@@ -232,7 +243,13 @@ func runFaultSample(cfg Config, sampleIdx int) (fs faultSample, err error) {
 // degradation penalty, and the injected-fault counters reconciled against
 // the link totals.
 func RunFaultStudy(cfg FaultStudyConfig) (string, error) {
-	cells, err := FaultStudy(cfg)
+	return RunFaultStudyCtx(context.Background(), cfg)
+}
+
+// RunFaultStudyCtx is RunFaultStudy with cooperative cancellation (see
+// FaultStudyCtx for the boundaries at which ctx is honored).
+func RunFaultStudyCtx(ctx context.Context, cfg FaultStudyConfig) (string, error) {
+	cells, err := FaultStudyCtx(ctx, cfg)
 	if err != nil {
 		return "", err
 	}
@@ -298,7 +315,7 @@ func RunFaultStudy(cfg FaultStudyConfig) (string, error) {
 		total.LinkFrames, total.LinkDelivered, total.LinkDropped, total.LinkDuplicated,
 		inj.Corrupted, inj.Reordered)
 
-	rcells, err := RecoveryComparison(cfg.Stack, cfg.Seed, cfg.Quality)
+	rcells, err := RecoveryComparisonCtx(ctx, cfg.Stack, cfg.Seed, cfg.Quality)
 	if err != nil {
 		return "", err
 	}

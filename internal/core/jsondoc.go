@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -234,7 +235,13 @@ func Table9Data(tcpip, rpc map[Version]*Result) obs.Table {
 // whose placements collide. It returns the rendered report plus the
 // results for structured export.
 func ProfileReport(kind StackKind, q Quality, topN int) (string, map[Version]*Result, error) {
-	results, err := RunVersionsProfiled(kind, q)
+	return ProfileReportCtx(context.Background(), kind, q, topN)
+}
+
+// ProfileReportCtx is ProfileReport with cooperative cancellation: ctx is
+// consulted between the sweep's samples.
+func ProfileReportCtx(ctx context.Context, kind StackKind, q Quality, topN int) (string, map[Version]*Result, error) {
+	results, err := RunVersionsProfiledCtx(ctx, kind, q)
 	if err != nil {
 		return "", nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -41,19 +42,40 @@ func Parallelism() int {
 // primitive every driver in this package uses, exported for external drivers
 // (the soak harness) that need the same identical-at-any-width guarantee.
 func ForEachIndexed(n, workers int, fn func(int) error) error {
-	return forEachIndexed(n, workers, fn)
+	return forEachIndexedCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachIndexedCtx is ForEachIndexed with cooperative cancellation: ctx is
+// consulted before each work item is claimed, so a cancelled or expired
+// context stops the fan-out at the next item boundary and its error is
+// reported for the items never run. Items already completed are unaffected,
+// preserving the identical-at-any-width guarantee for everything that did
+// execute.
+func ForEachIndexedCtx(ctx context.Context, n, workers int, fn func(int) error) error {
+	return forEachIndexedCtx(ctx, n, workers, fn)
 }
 
 // forEachIndexed runs fn(0) .. fn(n-1) on a pool of at most workers
+// goroutines and returns the lowest-index error.
+func forEachIndexed(n, workers int, fn func(int) error) error {
+	return forEachIndexedCtx(context.Background(), n, workers, fn)
+}
+
+// forEachIndexedCtx runs fn(0) .. fn(n-1) on a pool of at most workers
 // goroutines and returns the lowest-index error. With workers <= 1 it
 // degenerates to the plain serial loop (stopping at the first error, whose
-// identity matches what the parallel path reports).
-func forEachIndexed(n, workers int, fn func(int) error) error {
+// identity matches what the parallel path reports). ctx is checked before
+// each item: once it is cancelled no further fn calls start, and the
+// context's error occupies every unrun slot.
+func forEachIndexedCtx(ctx context.Context, n, workers int, fn func(int) error) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -70,6 +92,10 @@ func forEachIndexed(n, workers int, fn func(int) error) error {
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
 					return
 				}
 				errs[i] = fn(i)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -116,13 +117,20 @@ func percentileUS(sorted []uint64, q float64, m arch.Machine) float64 {
 // is doubled relative to q so the degraded population is large enough for a
 // meaningful p99.
 func RecoveryComparison(kind StackKind, seed uint64, q Quality) ([]RecoveryCell, error) {
+	return RecoveryComparisonCtx(context.Background(), kind, seed, q)
+}
+
+// RecoveryComparisonCtx is RecoveryComparison with cooperative
+// cancellation: ctx is consulted between cells and between the samples
+// within a cell.
+func RecoveryComparisonCtx(ctx context.Context, kind StackKind, seed uint64, q Quality) ([]RecoveryCell, error) {
 	samples := q.Samples
 	if samples < 2 {
 		samples = 2
 	}
 	m := arch.DEC3000_600()
 	cells := make([]RecoveryCell, len(recoveryRates)*len(recoveryPolicies))
-	err := ForEachIndexed(len(cells), Parallelism(), func(i int) error {
+	err := forEachIndexedCtx(ctx, len(cells), Parallelism(), func(i int) error {
 		rateIdx, polIdx := i/len(recoveryPolicies), i%len(recoveryPolicies)
 		cell := RecoveryCell{Policy: recoveryPolicies[polIdx], Rate: recoveryRates[rateIdx]}
 
@@ -137,6 +145,9 @@ func RecoveryComparison(kind StackKind, seed uint64, q Quality) ([]RecoveryCell,
 		var clean, degraded []uint64
 		var degradedSum uint64
 		for s := 0; s < samples; s++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			rts, stats, err := RunRoundtrips(cfg, s)
 			if err != nil {
 				return fmt.Errorf("recovery %v rate %.2f sample %d: %w", cell.Policy, cell.Rate, s, err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -39,22 +40,34 @@ func (q Quality) Apply(cfg Config) Config {
 // independent experiments, so they run concurrently on the worker pool and
 // assemble in Table 4 order.
 func RunVersions(kind StackKind, q Quality) (map[Version]*Result, error) {
-	return runVersions(kind, q, false)
+	return runVersions(context.Background(), kind, q, false)
+}
+
+// RunVersionsCtx is RunVersions with cooperative cancellation: ctx is
+// consulted between version cells and between the samples within each.
+func RunVersionsCtx(ctx context.Context, kind StackKind, q Quality) (map[Version]*Result, error) {
+	return runVersions(ctx, kind, q, false)
 }
 
 // RunVersionsProfiled is RunVersions with per-function attribution
 // enabled: each result's first sample carries a Profile.
 func RunVersionsProfiled(kind StackKind, q Quality) (map[Version]*Result, error) {
-	return runVersions(kind, q, true)
+	return runVersions(context.Background(), kind, q, true)
 }
 
-func runVersions(kind StackKind, q Quality, profile bool) (map[Version]*Result, error) {
+// RunVersionsProfiledCtx is RunVersionsProfiled with cooperative
+// cancellation (see RunVersionsCtx).
+func RunVersionsProfiledCtx(ctx context.Context, kind StackKind, q Quality) (map[Version]*Result, error) {
+	return runVersions(ctx, kind, q, true)
+}
+
+func runVersions(ctx context.Context, kind StackKind, q Quality, profile bool) (map[Version]*Result, error) {
 	vs := Versions()
 	results := make([]*Result, len(vs))
-	err := forEachIndexed(len(vs), Parallelism(), func(i int) error {
+	err := forEachIndexedCtx(ctx, len(vs), Parallelism(), func(i int) error {
 		cfg := q.Apply(DefaultConfig(kind, vs[i]))
 		cfg.Profile = profile
-		res, err := Run(cfg)
+		res, err := RunCtx(ctx, cfg)
 		if err != nil {
 			return fmt.Errorf("%v/%v: %w", kind, vs[i], err)
 		}

@@ -279,6 +279,41 @@ type SoakDoc struct {
 	Cells  []SoakCellDoc `json:"cells"`
 }
 
+// ServeStatsDoc is the daemon-health section of a document: the lifetime
+// counters of a protolat -serve process (admission, memoization, coalescing,
+// degradation) plus a point-in-time snapshot of its queue. Counters are
+// monotonic over a process lifetime; the snapshot fields (QueueDepth,
+// InFlight, Draining) describe the instant the document was assembled.
+type ServeStatsDoc struct {
+	// Accepted counts specs admitted to the queue (including recovered
+	// ones); Completed and Failed partition the jobs that finished.
+	Accepted  int `json:"accepted"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	// Coalesced counts submissions that attached to an already queued or
+	// running identical spec instead of executing again.
+	Coalesced int `json:"coalesced"`
+	// RejectedFull and RejectedDraining count submissions refused with
+	// backpressure (queue full) and during graceful drain respectively.
+	RejectedFull     int `json:"rejected_full"`
+	RejectedDraining int `json:"rejected_draining"`
+	// StoreHits counts requests served from the memoized result store
+	// without executing anything; StoreMisses counts fingerprints that had
+	// to be computed.
+	StoreHits   int `json:"store_hits"`
+	StoreMisses int `json:"store_misses"`
+	// Recovered counts jobs replayed from the journaled job queue after a
+	// crash; DegradedPersists counts results served successfully whose
+	// store write failed (computed but not memoized).
+	Recovered        int `json:"recovered"`
+	DegradedPersists int `json:"degraded_persists"`
+	// Queue snapshot at document-assembly time.
+	QueueDepth int  `json:"queue_depth"`
+	QueueCap   int  `json:"queue_cap"`
+	InFlight   int  `json:"in_flight"`
+	Draining   bool `json:"draining"`
+}
+
 // LintSetDoc is one cache set the static layout lint predicts will thrash
 // on the latency path.
 type LintSetDoc struct {
@@ -319,6 +354,7 @@ type Document struct {
 	FaultStudy *FaultStudyDoc `json:"fault_study,omitempty"`
 	Soak       *SoakDoc       `json:"soak,omitempty"`
 	Verify     *VerifyDoc     `json:"verify,omitempty"`
+	Serve      *ServeStatsDoc `json:"serve,omitempty"`
 }
 
 // Marshal renders the document as indented JSON with a trailing newline.

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/protocols/recovery"
+	"repro/internal/soak"
+)
+
+// buildDocument computes the document a spec describes, mirroring the
+// protolat CLI's export paths value for value — including the semantic
+// command string recorded in the manifest — so a document computed by the
+// daemon is byte-identical to one exported by the equivalent CLI
+// invocation on the same checkout.
+func (s *Server) buildDocument(ctx context.Context, spec Spec, fp string) (*obs.Document, error) {
+	kind := spec.stackKind()
+	q := spec.quality()
+	switch spec.Kind {
+	case "run":
+		ver, err := spec.version()
+		if err != nil {
+			return nil, err
+		}
+		rk, err := recovery.ParseKind(spec.Policy)
+		if err != nil {
+			return nil, &SpecError{Field: "policy", Msg: err.Error()}
+		}
+		cfg := core.DefaultConfig(kind, ver)
+		cfg.Warmup, cfg.Measured, cfg.Samples = q.Warmup, q.Measured, spec.Samples
+		cfg.Recovery = rk
+		cfg.EventBudget = s.cfg.EventBudget
+		cfg.Profile = true
+		res, err := core.RunCtx(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		command := fmt.Sprintf("protolat -stack %s -version %v -samples %d", spec.Stack, ver, spec.Samples)
+		if spec.Policy != "" {
+			command += " -policy " + string(rk)
+		}
+		doc := s.newDoc(command, 0, q)
+		doc.Runs = []obs.Run{core.RunDoc(res)}
+		return doc, nil
+
+	case "table":
+		doc := s.newDoc(fmt.Sprintf("protolat -table %d -quality %s", spec.Table, spec.Quality), 0, q)
+		if spec.Table <= 3 {
+			var data obs.Table
+			var err error
+			switch spec.Table {
+			case 1:
+				_, data, err = core.Table1Full(q)
+			case 2:
+				_, data, err = core.Table2Full(q)
+			case 3:
+				_, data, err = core.Table3Full(q)
+			}
+			if err != nil {
+				return nil, err
+			}
+			doc.Tables = []obs.Table{data}
+			return doc, nil
+		}
+		tcpip, err := core.RunVersionsProfiledCtx(ctx, core.StackTCPIP, q)
+		if err != nil {
+			return nil, err
+		}
+		rpc, err := core.RunVersionsProfiledCtx(ctx, core.StackRPC, q)
+		if err != nil {
+			return nil, err
+		}
+		switch spec.Table {
+		case 4, 5:
+			doc.Tables = core.Table45Data(tcpip, rpc)
+		case 6:
+			doc.Tables = []obs.Table{core.Table6Data(tcpip, rpc)}
+		case 7:
+			doc.Tables = []obs.Table{core.Table7Data(tcpip, rpc)}
+		case 8:
+			doc.Tables = []obs.Table{core.Table8Data(tcpip, rpc)}
+		case 9:
+			doc.Tables = []obs.Table{core.Table9Data(tcpip, rpc)}
+		}
+		doc.Runs = append(core.RunsDoc(tcpip), core.RunsDoc(rpc)...)
+		return doc, nil
+
+	case "faults":
+		cfg := core.DefaultFaultStudy(kind, spec.Seed)
+		if spec.Quality != "paper" {
+			cfg.Quality = core.Quality{Warmup: 3, Measured: 12, Samples: 1}
+		}
+		if spec.Rates != "" {
+			rates, err := parseRates(spec.Rates)
+			if err != nil {
+				return nil, &SpecError{Field: "rates", Msg: err.Error()}
+			}
+			cfg.Rates = rates
+		}
+		cfg.EventBudget = s.cfg.EventBudget
+		cells, err := core.FaultStudyCtx(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		doc := s.newDoc(fmt.Sprintf("protolat -faults -stack %s -seed %d -rates %s -quality %s",
+			spec.Stack, spec.Seed, spec.Rates, spec.Quality), spec.Seed, q)
+		doc.FaultStudy = core.FaultStudyDocOf(cfg, cells)
+		rcells, err := core.RecoveryComparisonCtx(ctx, kind, spec.Seed, cfg.Quality)
+		if err != nil {
+			return nil, err
+		}
+		doc.FaultStudy.Recovery = core.RecoveryDocOf(rcells)
+		return doc, nil
+
+	case "soak":
+		cfg := soak.DefaultConfig(kind, spec.Seed)
+		if spec.Quality == "paper" {
+			cfg.BatchesPerCell = 10
+			cfg.BatchRoundtrips = 24
+		}
+		if spec.SoakBatches > 0 {
+			cfg.BatchesPerCell = spec.SoakBatches
+		}
+		if spec.SoakRoundtrips > 0 {
+			cfg.BatchRoundtrips = spec.SoakRoundtrips
+		}
+		cfg.EventBudget = s.cfg.EventBudget
+		cfg.CheckpointPath = s.store.JournalPath(fp)
+		run := soak.RunCtx
+		if _, err := os.Stat(cfg.CheckpointPath); err == nil {
+			// A checkpoint from an interrupted earlier attempt: resume
+			// it instead of recomputing finished chunks. A tampered or
+			// mismatched journal surfaces as a typed *soak.JournalError.
+			run = soak.ResumeCtx
+		}
+		res, err := run(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// The manifest's quality block records the soak's own batch
+		// shape, exactly as the CLI export does.
+		mq := core.Quality{Warmup: cfg.Warmup, Measured: cfg.BatchRoundtrips, Samples: cfg.BatchesPerCell}
+		doc := s.newDoc(fmt.Sprintf("protolat -soak -stack %s -seed %d -quality %s",
+			spec.Stack, spec.Seed, spec.Quality), spec.Seed, mq)
+		doc.Soak = soak.Doc(res)
+		return doc, nil
+
+	case "lint":
+		cells, err := core.LintStudy(kind, core.Bipartite)
+		if err != nil {
+			return nil, err
+		}
+		doc := s.newDoc(fmt.Sprintf("protolat -lint -stack %s", spec.Stack), 0, q)
+		doc.Verify = core.LintStudyDocOf(kind, core.Bipartite, cells)
+		return doc, nil
+
+	case "profile":
+		text, results, err := core.ProfileReportCtx(ctx, kind, q, spec.Top)
+		if err != nil {
+			return nil, err
+		}
+		doc := s.newDoc(fmt.Sprintf("protolat -profile -stack %s -top %d -quality %s",
+			spec.Stack, spec.Top, spec.Quality), 0, q)
+		doc.Runs = core.RunsDoc(results)
+		doc.Figures = append(doc.Figures, obs.Figure{
+			Name: "profile", Title: "Per-function mCPI attribution", Text: text})
+		return doc, nil
+	}
+	return nil, &SpecError{Field: "kind", Msg: fmt.Sprintf("unknown kind %q", spec.Kind)}
+}
+
+// newDoc starts a document with the manifest the CLI would write for the
+// same semantic command on this checkout.
+func (s *Server) newDoc(command string, seed uint64, q core.Quality) *obs.Document {
+	doc := &obs.Document{Manifest: core.NewManifest(command, seed, q)}
+	doc.Manifest.GitDescribe = s.cfg.GitDescribe
+	return doc
+}

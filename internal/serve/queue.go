@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// Sentinel admission failures; the HTTP layer maps them to 429 and 503.
+var (
+	errQueueFull = errors.New("serve: job queue full")
+	errDraining  = errors.New("serve: daemon is draining; not accepting new work")
+)
+
+// job is one admitted experiment. The worker fills the result fields and
+// then closes done; every waiter (the submitting handler plus any
+// coalesced ones) reads them only after done, so no field needs a lock.
+type job struct {
+	spec Spec
+	fp   string
+	// recovered marks a job replayed from the journaled queue after a
+	// restart rather than submitted over HTTP.
+	recovered bool
+
+	done chan struct{}
+	// Result fields, written by the worker before close(done):
+	doc      []byte
+	err      error
+	status   int    // HTTP status for the outcome
+	reason   string // machine-readable failure class
+	cache    string // "computed" or "hit" (memo satisfied before running)
+	degraded bool   // result served but not persisted
+}
+
+// queue is the bounded admission queue with fingerprint coalescing: byFP
+// tracks every queued or running job, so an identical concurrent spec
+// attaches to the existing job instead of enqueueing a second execution.
+type queue struct {
+	mu     sync.Mutex
+	byFP   map[string]*job
+	ch     chan *job
+	closed bool
+}
+
+func newQueue(capacity int) *queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &queue{byFP: make(map[string]*job), ch: make(chan *job, capacity)}
+}
+
+// submit admits a spec, returning the job to wait on and whether the
+// caller coalesced onto an existing one. A closed (draining) queue
+// returns errDraining, a full one errQueueFull.
+func (q *queue) submit(spec Spec, fp string) (j *job, coalesced bool, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if existing, ok := q.byFP[fp]; ok {
+		return existing, true, nil
+	}
+	if q.closed {
+		return nil, false, errDraining
+	}
+	j = &job{spec: spec, fp: fp, done: make(chan struct{})}
+	select {
+	case q.ch <- j:
+		q.byFP[fp] = j
+		return j, false, nil
+	default:
+		return nil, false, errQueueFull
+	}
+}
+
+// enqueueRecovered re-admits a crash-recovered job during startup, before
+// the worker starts; the caller sizes the channel to make room.
+func (q *queue) enqueueRecovered(spec Spec, fp string) *job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if existing, ok := q.byFP[fp]; ok {
+		return existing
+	}
+	j := &job{spec: spec, fp: fp, recovered: true, done: make(chan struct{})}
+	q.byFP[fp] = j
+	q.ch <- j
+	return j
+}
+
+// finish publishes a job's result: it leaves the coalescing map (new
+// identical submissions now re-check the store instead) and its waiters
+// unblock. Closing done is the happens-before edge that makes the result
+// fields safe to read.
+func (q *queue) finish(j *job) {
+	q.mu.Lock()
+	delete(q.byFP, j.fp)
+	q.mu.Unlock()
+	close(j.done)
+}
+
+// close stops admission; the worker drains what was already queued. Safe
+// to call more than once.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}
+
+// depth reports how many admitted jobs await the worker.
+func (q *queue) depth() int { return len(q.ch) }
+
+// snapshot lists the queued or running jobs' fingerprints and kinds.
+func (q *queue) snapshot() []jobInfo {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]jobInfo, 0, len(q.byFP))
+	for fp, j := range q.byFP {
+		out = append(out, jobInfo{Fingerprint: fp, Kind: j.spec.Kind, Recovered: j.recovered})
+	}
+	return out
+}
+
+// jobInfo is one row of the GET /v1/jobs listing.
+type jobInfo struct {
+	Fingerprint string `json:"fingerprint"`
+	Kind        string `json:"kind"`
+	Recovered   bool   `json:"recovered,omitempty"`
+}

@@ -1,0 +1,609 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/soak"
+)
+
+// newTestServer builds a daemon on a temp store and an httptest frontend,
+// both torn down with the test.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.StoreDir == "" {
+		cfg.StoreDir = t.TempDir()
+	}
+	if cfg.GitDescribe == "" {
+		cfg.GitDescribe = "test-checkout"
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+// post submits a spec body and returns the response plus its body.
+func post(t *testing.T, ts *httptest.Server, spec string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/experiments", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, body
+}
+
+// get fetches a daemon URL.
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("get %s: %v", path, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, body
+}
+
+// waitFor polls cond until it holds or the test times out.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+const lintSpec = `{"kind":"lint"}`
+const runSpec = `{"kind":"run","version":"STD","samples":1}`
+
+// TestSubmitMemoizesByteIdentical: the first submission computes, the
+// second is a store hit, and both bodies — plus the GET-by-fingerprint
+// form — are byte-identical.
+func TestSubmitMemoizesByteIdentical(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	r1, b1 := post(t, ts, lintSpec)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("first submit: %s: %s", r1.Status, b1)
+	}
+	if c := r1.Header.Get("X-Protolat-Cache"); c != "computed" {
+		t.Fatalf("first submit cache = %q, want computed", c)
+	}
+	fp := r1.Header.Get("X-Protolat-Fingerprint")
+	if fp == "" {
+		t.Fatal("no fingerprint header")
+	}
+
+	r2, b2 := post(t, ts, lintSpec)
+	if r2.StatusCode != http.StatusOK || r2.Header.Get("X-Protolat-Cache") != "hit" {
+		t.Fatalf("second submit: %s cache=%q", r2.Status, r2.Header.Get("X-Protolat-Cache"))
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("memoized response is not byte-identical to the computed one")
+	}
+
+	r3, b3 := get(t, ts, "/v1/results/"+fp)
+	if r3.StatusCode != http.StatusOK || !bytes.Equal(b1, b3) {
+		t.Fatalf("GET by fingerprint: %s, identical=%v", r3.Status, bytes.Equal(b1, b3))
+	}
+
+	st := s.Stats()
+	if st.Accepted != 1 || st.Completed != 1 || st.StoreMisses != 1 || st.StoreHits < 2 {
+		t.Fatalf("stats after memoized pair: %+v", st)
+	}
+}
+
+// TestStoreRoundTripByteIdentity pins the invariant memoization rests on:
+// a Document.Marshal output survives the envelope store byte-exactly.
+func TestStoreRoundTripByteIdentity(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	doc := &obs.Document{Manifest: core.NewManifest("protolat -lint -stack tcpip <&>", 3, core.Quick)}
+	doc.Figures = []obs.Figure{{Name: "f", Title: "a<b & c>d", Text: "line1\nline2"}}
+	want, err := doc.Marshal()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if err := store.Put("abcd", want); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := store.Get("abcd")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("store round trip changed bytes:\n--- put\n%s\n--- got\n%s", want, got)
+	}
+	if miss, err := store.Get("ffff"); err != nil || miss != nil {
+		t.Fatalf("Get on missing fingerprint = (%v, %v), want (nil, nil)", miss, err)
+	}
+}
+
+// TestCoalescing is the PR's exactly-once criterion: concurrent identical
+// specs execute the underlying experiment once, everyone gets the same
+// bytes, and the coalescing counter records the attach count.
+func TestCoalescing(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	gate := make(chan struct{})
+	var executed int32
+	var execMu sync.Mutex
+	s.beforeRun = func(j *job) {
+		execMu.Lock()
+		executed++
+		execMu.Unlock()
+		<-gate
+	}
+
+	type reply struct {
+		cache string
+		body  []byte
+		code  int
+	}
+	replies := make(chan reply, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			resp, body := post(t, ts, runSpec)
+			replies <- reply{cache: resp.Header.Get("X-Protolat-Cache"), body: body, code: resp.StatusCode}
+		}()
+	}
+	waitFor(t, "two coalesced submissions", func() bool { return s.Stats().Coalesced == 2 })
+	close(gate)
+
+	var got []reply
+	for i := 0; i < 3; i++ {
+		got = append(got, <-replies)
+	}
+	counts := map[string]int{}
+	for _, r := range got {
+		if r.code != http.StatusOK {
+			t.Fatalf("submission failed: %d: %s", r.code, r.body)
+		}
+		counts[r.cache]++
+		if !bytes.Equal(r.body, got[0].body) {
+			t.Fatal("coalesced responses differ")
+		}
+	}
+	if counts["computed"] != 1 || counts["coalesced"] != 2 {
+		t.Fatalf("cache headers = %v, want 1 computed + 2 coalesced", counts)
+	}
+	execMu.Lock()
+	n := executed
+	execMu.Unlock()
+	if n != 1 {
+		t.Fatalf("underlying experiment executed %d times, want exactly once", n)
+	}
+	if st := s.Stats(); st.Coalesced != 2 || st.Accepted != 1 {
+		t.Fatalf("stats after coalesced burst: %+v", st)
+	}
+}
+
+// TestBackpressure: a full queue rejects with 429 and a deterministic
+// Retry-After hint; the memo path stays open throughout.
+func TestBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{QueueCap: 1})
+	gate := make(chan struct{})
+	s.beforeRun = func(j *job) { <-gate }
+
+	done := make(chan struct{}, 2)
+	go func() { post(t, ts, lintSpec); done <- struct{}{} }()
+	waitFor(t, "first job in flight", func() bool { return s.Stats().InFlight == 1 })
+	go func() { post(t, ts, `{"kind":"lint","stack":"rpc"}`); done <- struct{}{} }()
+	waitFor(t, "second job queued", func() bool { return s.q.depth() == 1 })
+
+	resp, body := post(t, ts, runSpec)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit to full queue: %s: %s", resp.Status, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Reason != "backpressure" || eb.RetryAfterMS <= 0 {
+		t.Fatalf("429 body = %s (err %v)", body, err)
+	}
+	if st := s.Stats(); st.RejectedFull != 1 {
+		t.Fatalf("RejectedFull = %d, want 1", st.RejectedFull)
+	}
+	close(gate)
+	<-done
+	<-done
+}
+
+// TestRetryAfterDeterministic: the backoff hint is a pure function of
+// fingerprint and depth — reproducible, bounded, jittered across specs.
+func TestRetryAfterDeterministic(t *testing.T) {
+	if a, b := retryAfterMS("abcd", 2), retryAfterMS("abcd", 2); a != b {
+		t.Fatalf("same inputs gave %d and %d", a, b)
+	}
+	if retryAfterMS("abcd", 0) < 250 {
+		t.Fatal("hint below base backoff")
+	}
+	if retryAfterMS("abcd", 100) > 30000 {
+		t.Fatal("hint above cap")
+	}
+	if retryAfterMS("abcd", 3) == retryAfterMS("wxyz", 3) {
+		t.Fatal("no jitter between distinct fingerprints (collision is possible but these two differ)")
+	}
+}
+
+// TestDrain: BeginDrain refuses new work with 503 + retry hint, finishes
+// what was admitted, and the in-flight result is persisted and delivered.
+func TestDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	gate := make(chan struct{})
+	s.beforeRun = func(j *job) { <-gate }
+
+	type reply struct {
+		code int
+		body []byte
+	}
+	first := make(chan reply, 1)
+	go func() {
+		resp, body := post(t, ts, lintSpec)
+		first <- reply{resp.StatusCode, body}
+	}()
+	waitFor(t, "job in flight", func() bool { return s.Stats().InFlight == 1 })
+	s.BeginDrain()
+
+	if resp, body := post(t, ts, runSpec); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %s: %s", resp.Status, body)
+	} else if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After header")
+	}
+	if resp, body := get(t, ts, "/v1/healthz"); resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "draining") {
+		t.Fatalf("healthz while draining: %s: %s", resp.Status, body)
+	}
+
+	close(gate)
+	if err := s.Drain(30 * time.Second); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	r := <-first
+	if r.code != http.StatusOK {
+		t.Fatalf("in-flight job during drain: %d: %s", r.code, r.body)
+	}
+	fp := Spec{Kind: "lint"}.Normalized().Fingerprint(s.cfg.GitDescribe)
+	doc, err := s.store.Get(fp)
+	if err != nil || doc == nil {
+		t.Fatalf("drained job not persisted: (%v, %v)", doc != nil, err)
+	}
+	if !bytes.Equal(doc, r.body) {
+		t.Fatal("persisted document differs from the delivered response")
+	}
+	// Memo hits still serve after drain.
+	if resp, body := post(t, ts, lintSpec); resp.StatusCode != http.StatusOK || resp.Header.Get("X-Protolat-Cache") != "hit" {
+		t.Fatalf("memo hit while drained: %s cache=%q: %s", resp.Status, resp.Header.Get("X-Protolat-Cache"), body)
+	}
+}
+
+// TestCrashRecoveryRun is the PR's crash criterion for plain jobs: a job
+// journaled at admission but killed before completion is replayed on the
+// next start, and the recovered document is byte-identical to one computed
+// without the crash.
+func TestCrashRecoveryRun(t *testing.T) {
+	gd := "test-checkout"
+	spec := Spec{Kind: "run", Version: "STD", Samples: 1}.Normalized()
+	fp := spec.Fingerprint(gd)
+
+	// Reference: the same spec computed by an undisturbed daemon.
+	_, refTS := newTestServer(t, Config{})
+	refResp, refBody := post(t, refTS, runSpec)
+	if refResp.StatusCode != http.StatusOK {
+		t.Fatalf("reference run: %s: %s", refResp.Status, refBody)
+	}
+
+	// Crash state: the job journal exists, the document does not — exactly
+	// what a kill -9 between admission and persist leaves behind.
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	if err := store.PutJob(fp, spec); err != nil {
+		t.Fatalf("PutJob: %v", err)
+	}
+
+	s, ts := newTestServer(t, Config{StoreDir: dir, GitDescribe: gd})
+	if st := s.Stats(); st.Recovered != 1 {
+		t.Fatalf("Recovered = %d, want 1", st.Recovered)
+	}
+	waitFor(t, "recovered job to complete", func() bool {
+		doc, err := s.store.Get(fp)
+		return err == nil && doc != nil
+	})
+	resp, body := post(t, ts, runSpec)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Protolat-Cache") != "hit" {
+		t.Fatalf("re-request after recovery: %s cache=%q", resp.Status, resp.Header.Get("X-Protolat-Cache"))
+	}
+	if !bytes.Equal(body, refBody) {
+		t.Fatal("recovered document differs from the uninterrupted reference")
+	}
+	if _, err := os.Stat(store.jobPath(fp)); !os.IsNotExist(err) {
+		t.Fatal("completed recovery left the job journal behind")
+	}
+}
+
+// soakTestSpec is a small soak: 16 units in two checkpoint chunks.
+const soakTestSpec = `{"kind":"soak","seed":5,"soak_batches":1,"soak_roundtrips":4}`
+
+// soakCfgFor mirrors document.go's soak config assembly for the test spec,
+// so the test can plant a mid-schedule checkpoint the daemon will resume.
+func soakCfgFor(store *Store, fp string) soak.Config {
+	cfg := soak.DefaultConfig(core.StackTCPIP, 5)
+	cfg.BatchesPerCell = 1
+	cfg.BatchRoundtrips = 4
+	cfg.CheckpointPath = store.JournalPath(fp)
+	return cfg
+}
+
+// TestCrashRecoverySoakResume: a soak killed mid-schedule resumes from its
+// chunk checkpoint on the next start instead of recomputing, and the final
+// document is byte-identical to an uninterrupted run's.
+func TestCrashRecoverySoakResume(t *testing.T) {
+	gd := "test-checkout"
+	spec := Spec{Kind: "soak", Seed: 5, SoakBatches: 1, SoakRoundtrips: 4}.Normalized()
+	fp := spec.Fingerprint(gd)
+
+	_, refTS := newTestServer(t, Config{})
+	refResp, refBody := post(t, refTS, soakTestSpec)
+	if refResp.StatusCode != http.StatusOK {
+		t.Fatalf("reference soak: %s: %s", refResp.Status, refBody)
+	}
+
+	// Crash state: admitted job plus a checkpoint stopped after the first
+	// chunk — a kill -9 mid-soak.
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	if err := store.PutJob(fp, spec); err != nil {
+		t.Fatalf("PutJob: %v", err)
+	}
+	cfg := soakCfgFor(store, fp)
+	cfg.StopAfterUnits = 8
+	res, err := soak.Run(cfg)
+	if err != nil {
+		t.Fatalf("partial soak: %v", err)
+	}
+	if !res.Stopped {
+		t.Fatal("partial soak ran to completion; StopAfterUnits misconfigured")
+	}
+
+	s, ts := newTestServer(t, Config{StoreDir: dir, GitDescribe: gd})
+	waitFor(t, "recovered soak to complete", func() bool {
+		doc, err := s.store.Get(fp)
+		return err == nil && doc != nil
+	})
+	resp, body := post(t, ts, soakTestSpec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-request after soak recovery: %s: %s", resp.Status, body)
+	}
+	if !bytes.Equal(body, refBody) {
+		t.Fatal("resumed soak document differs from the uninterrupted reference")
+	}
+	if _, err := os.Stat(store.JournalPath(fp)); !os.IsNotExist(err) {
+		t.Fatal("completed soak left its checkpoint behind")
+	}
+}
+
+// TestJournalTamper: a corrupted soak checkpoint surfaces as a typed 500
+// naming the journal failure — never a silently recomputed or wrong
+// answer; a corrupted memoized document does the same on both GET and POST.
+func TestJournalTamper(t *testing.T) {
+	gd := "test-checkout"
+	spec := Spec{Kind: "soak", Seed: 5, SoakBatches: 1, SoakRoundtrips: 4}.Normalized()
+	fp := spec.Fingerprint(gd)
+
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	cfg := soakCfgFor(store, fp)
+	cfg.StopAfterUnits = 8
+	if _, err := soak.Run(cfg); err != nil {
+		t.Fatalf("partial soak: %v", err)
+	}
+	data, err := os.ReadFile(store.JournalPath(fp))
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	if err := os.WriteFile(store.JournalPath(fp), data[:len(data)/2], 0o644); err != nil {
+		t.Fatalf("tamper journal: %v", err)
+	}
+
+	_, ts := newTestServer(t, Config{StoreDir: dir, GitDescribe: gd})
+	resp, body := post(t, ts, soakTestSpec)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("submit over tampered journal: %s: %s", resp.Status, body)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil || !strings.HasPrefix(eb.Reason, "journal-") {
+		t.Fatalf("tamper reason = %q (body %s, err %v), want journal-*", eb.Reason, body, err)
+	}
+}
+
+// TestStoreTamper: a corrupted memoized document is refused with a typed
+// journal error on both retrieval paths.
+func TestStoreTamper(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	r1, _ := post(t, ts, lintSpec)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %s", r1.Status)
+	}
+	fp := r1.Header.Get("X-Protolat-Fingerprint")
+	data, err := os.ReadFile(s.store.docPath(fp))
+	if err != nil {
+		t.Fatalf("read doc: %v", err)
+	}
+	if err := os.WriteFile(s.store.docPath(fp), data[:len(data)/2], 0o644); err != nil {
+		t.Fatalf("tamper doc: %v", err)
+	}
+	for _, req := range []func() (*http.Response, []byte){
+		func() (*http.Response, []byte) { return get(t, ts, "/v1/results/"+fp) },
+		func() (*http.Response, []byte) { return post(t, ts, lintSpec) },
+	} {
+		resp, body := req()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("tampered store served %s: %s", resp.Status, body)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(body, &eb); err != nil || !strings.HasPrefix(eb.Reason, "journal-") {
+			t.Fatalf("tamper reason = %q (err %v), want journal-*", eb.Reason, err)
+		}
+	}
+}
+
+// TestValidation: malformed and invalid specs are 400s with the offending
+// field named, before any work is admitted.
+func TestValidation(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, spec, want string
+	}{
+		{"bad json", `{`, "parse"},
+		{"unknown field", `{"kind":"lint","bogus":1}`, "parse"},
+		{"missing kind", `{}`, "spec"},
+		{"unknown kind", `{"kind":"frobnicate"}`, "spec"},
+		{"bad stack", `{"kind":"lint","stack":"osi"}`, "spec"},
+		{"bad version", `{"kind":"run","version":"NOPE"}`, "spec"},
+		{"bad table", `{"kind":"table","table":12}`, "spec"},
+		{"bad rates", `{"kind":"faults","rates":"0.5,2.0"}`, "spec"},
+		{"bad policy", `{"kind":"run","policy":"psychic"}`, "spec"},
+	}
+	for _, tc := range cases {
+		resp, body := post(t, ts, tc.spec)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %s, want 400 (body %s)", tc.name, resp.Status, body)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(body, &eb); err != nil || eb.Reason != tc.want {
+			t.Fatalf("%s: reason = %q (err %v), want %q", tc.name, eb.Reason, err, tc.want)
+		}
+	}
+	if st := s.Stats(); st.Accepted != 0 {
+		t.Fatalf("invalid specs were admitted: %+v", st)
+	}
+}
+
+// TestFingerprintCanonicalization: semantically identical specs coalesce
+// onto one fingerprint; changed semantics or checkout do not.
+func TestFingerprintCanonicalization(t *testing.T) {
+	a := Spec{Kind: "run", Version: "all", Samples: 3}.Fingerprint("v1")
+	b := Spec{Kind: "RUN", Version: "ALL", TimeoutMS: 9000}.Fingerprint("v1")
+	if a != b {
+		t.Fatal("case, defaults, and timeout changed the fingerprint")
+	}
+	if fp := (Spec{Kind: "run", Version: "STD"}).Fingerprint("v1"); fp == a {
+		t.Fatal("different version, same fingerprint")
+	}
+	if fp := (Spec{Kind: "run", Version: "all", Samples: 3}).Fingerprint("v2"); fp == a {
+		t.Fatal("different checkout, same fingerprint")
+	}
+	// Irrelevant fields are zeroed per kind.
+	if (Spec{Kind: "lint", Seed: 99, Samples: 7}).Fingerprint("v1") != (Spec{Kind: "lint"}).Fingerprint("v1") {
+		t.Fatal("fields irrelevant to lint changed its fingerprint")
+	}
+}
+
+// TestStatsDocument: GET /v1/stats returns a schema-conformant document
+// with the serve section populated.
+func TestStatsDocument(t *testing.T) {
+	_, ts := newTestServer(t, Config{QueueCap: 7})
+	post(t, ts, lintSpec)
+	resp, body := get(t, ts, "/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %s", resp.Status)
+	}
+	var doc obs.Document
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("stats document does not parse: %v", err)
+	}
+	if doc.Serve == nil {
+		t.Fatal("stats document has no serve section")
+	}
+	if doc.Serve.QueueCap != 7 || doc.Serve.Accepted != 1 || doc.Serve.Completed != 1 {
+		t.Fatalf("serve stats = %+v", doc.Serve)
+	}
+	if doc.Manifest.Schema != obs.SchemaVersion || doc.Manifest.Command != "protolat -serve" {
+		t.Fatalf("stats manifest = %+v", doc.Manifest)
+	}
+}
+
+// TestJobsEndpoint: queued and running jobs are listed in fingerprint
+// order with their kinds.
+func TestJobsEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	gate := make(chan struct{})
+	s.beforeRun = func(j *job) { <-gate }
+	done := make(chan struct{}, 2)
+	go func() { post(t, ts, lintSpec); done <- struct{}{} }()
+	go func() { post(t, ts, runSpec); done <- struct{}{} }()
+	waitFor(t, "two jobs admitted", func() bool {
+		return s.Stats().InFlight == 1 && s.q.depth() == 1
+	})
+	_, body := get(t, ts, "/v1/jobs")
+	var listing struct {
+		Jobs []jobInfo `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &listing); err != nil || len(listing.Jobs) != 2 {
+		t.Fatalf("jobs listing = %s (err %v), want 2 jobs", body, err)
+	}
+	if listing.Jobs[0].Fingerprint > listing.Jobs[1].Fingerprint {
+		t.Fatal("jobs listing not in fingerprint order")
+	}
+	close(gate)
+	<-done
+	<-done
+}
+
+// TestSpecErrorClassification pins the degradation ladder's error→status
+// mapping.
+func TestSpecErrorClassification(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+		reason string
+	}{
+		{&SpecError{Field: "kind", Msg: "x"}, 400, "spec"},
+		{&core.BudgetError{Sample: 1, Budget: 10}, 422, "budget"},
+		{&soak.JournalError{Path: "p", Reason: "corrupt"}, 500, "journal-corrupt"},
+		{fmt.Errorf("wrap: %w", &soak.JournalError{Path: "p", Reason: "mismatch"}), 500, "journal-mismatch"},
+		{errors.New("boom"), 500, "internal"},
+	}
+	for _, tc := range cases {
+		status, reason := classify(tc.err)
+		if status != tc.status || reason != tc.reason {
+			t.Fatalf("classify(%v) = (%d, %q), want (%d, %q)", tc.err, status, reason, tc.status, tc.reason)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/soak"
+)
+
+// Store file formats, all carried by the soak journal envelope
+// (tmp+rename+CRC32, typed *soak.JournalError on every failure mode).
+const (
+	// docMagic identifies a memoized result document.
+	docMagic = "protolat-serve-doc"
+	// jobMagic identifies a journaled pending job.
+	jobMagic = "protolat-serve-job"
+	// storeSchema versions both formats together.
+	storeSchema = 1
+)
+
+// Store is the daemon's crash-safe on-disk state: memoized result
+// documents keyed by spec fingerprint, journaled pending jobs (written at
+// admission, removed at completion), and soak chunk checkpoints. Every
+// file is written atomically under the soak journal envelope, so a kill
+// -9 at any instant leaves the store replayable: Recover drops torn temp
+// files and returns the jobs that were admitted but never finished.
+type Store struct {
+	dir string
+}
+
+// RecoveredJob is one admitted-but-unfinished job replayed from the
+// journaled queue after a restart.
+type RecoveredJob struct {
+	Fingerprint string
+	Spec        Spec
+}
+
+// OpenStore opens (creating if needed) a store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir reports the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) docPath(fp string) string { return filepath.Join(s.dir, fp+".doc.json") }
+func (s *Store) jobPath(fp string) string { return filepath.Join(s.dir, fp+".job.json") }
+
+// JournalPath is where a soak job with this fingerprint checkpoints; kept
+// inside the store so crash recovery and result memoization share one
+// directory.
+func (s *Store) JournalPath(fp string) string { return filepath.Join(s.dir, fp+".soak.journal") }
+
+// Get returns the memoized document for a fingerprint: (nil, nil) on a
+// miss, the exact bytes Put stored on a hit, and a *soak.JournalError for
+// a tampered or torn entry. The document is stored compacted inside the
+// envelope and re-indented here; because the library's Document.Marshal
+// output is deterministic indented JSON, the round trip is byte-exact (a
+// tested invariant).
+func (s *Store) Get(fp string) ([]byte, error) {
+	raw, err := soak.LoadEnvelope(s.docPath(fp), docMagic, storeSchema, 0, fp)
+	if err != nil {
+		var je *soak.JournalError
+		if errors.As(err, &je) && je.Reason == "missing" {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, raw, "", "  "); err != nil {
+		return nil, &soak.JournalError{Path: s.docPath(fp), Reason: "corrupt", Err: err}
+	}
+	buf.WriteByte('\n')
+	return buf.Bytes(), nil
+}
+
+// Put memoizes a completed document under its fingerprint.
+func (s *Store) Put(fp string, doc []byte) error {
+	return soak.SaveEnvelope(s.docPath(fp), docMagic, storeSchema, 0, fp, json.RawMessage(doc))
+}
+
+// PutJob journals an admitted job so a crashed daemon can replay it.
+func (s *Store) PutJob(fp string, spec Spec) error {
+	return soak.SaveEnvelope(s.jobPath(fp), jobMagic, storeSchema, 0, fp, spec)
+}
+
+// DropJob removes a finished job's journal entry (missing is fine).
+func (s *Store) DropJob(fp string) {
+	if err := os.Remove(s.jobPath(fp)); err != nil && !os.IsNotExist(err) {
+		// Best-effort: a stale job file is re-dropped on the next
+		// recovery pass when its document is found present.
+		_ = err
+	}
+}
+
+// DropJournal removes a finished soak job's checkpoint (missing is fine).
+func (s *Store) DropJournal(fp string) {
+	if err := os.Remove(s.JournalPath(fp)); err != nil && !os.IsNotExist(err) {
+		_ = err
+	}
+}
+
+// Recover replays the store after a restart: torn temp files are removed,
+// job entries whose document already exists are dropped (the crash hit
+// between persist and cleanup), unreadable job entries are discarded, and
+// the remaining admitted-but-unfinished jobs are returned in fingerprint
+// order for re-execution.
+func (s *Store) Recover() ([]RecoveredJob, error) {
+	tmps, err := filepath.Glob(filepath.Join(s.dir, "*.tmp"))
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range tmps {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+	jobs, err := filepath.Glob(filepath.Join(s.dir, "*.job.json"))
+	if err != nil {
+		return nil, err
+	}
+	var out []RecoveredJob
+	for _, p := range jobs {
+		fp := strings.TrimSuffix(filepath.Base(p), ".job.json")
+		if _, err := os.Stat(s.docPath(fp)); err == nil {
+			s.DropJob(fp)
+			continue
+		}
+		raw, err := soak.LoadEnvelope(p, jobMagic, storeSchema, 0, fp)
+		if err != nil {
+			// A torn or tampered job entry cannot be replayed; drop it
+			// rather than wedge startup. The client that submitted it
+			// will resubmit and be treated as a fresh request.
+			s.DropJob(fp)
+			continue
+		}
+		var spec Spec
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			s.DropJob(fp)
+			continue
+		}
+		out = append(out, RecoveredJob{Fingerprint: fp, Spec: spec})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package soak
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// cancelAfterCtx starts returning context.Canceled after its Err method
+// has been consulted `after` times — deterministic mid-run cancellation
+// without wall-clock timing.
+type cancelAfterCtx struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+}
+
+func (c *cancelAfterCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestSoakCtxPreCancelled: an already-cancelled context stops the soak
+// before any unit runs or any journal is written.
+func TestSoakCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := testConfig(t)
+	if _, err := RunCtx(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := os.Stat(cfg.CheckpointPath); !os.IsNotExist(err) {
+		t.Fatal("pre-cancelled soak wrote a journal")
+	}
+}
+
+// TestSoakCtxCancelKeepsJournal is the drain-safety invariant the serve
+// daemon relies on: cancelling a soak mid-schedule leaves a valid journal
+// at the last completed chunk, and resuming it produces a document
+// byte-identical to an uninterrupted run's.
+func TestSoakCtxCancelKeepsJournal(t *testing.T) {
+	defer core.SetParallelism(0)
+	core.SetParallelism(1)
+
+	full := testConfig(t)
+	uninterrupted, err := Run(full)
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+
+	cfg := testConfig(t)
+	// Per chunk the run consults ctx.Err once at the boundary and once per
+	// unit (serial pool); with 3-unit chunks, 10 calls cancel inside the
+	// third chunk, after two chunks have been journaled.
+	ctx := &cancelAfterCtx{Context: context.Background(), after: 10}
+	if _, err := RunCtx(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx cancelled midway: err = %v, want context.Canceled", err)
+	}
+
+	ncfg := cfg.normalize()
+	st, err := loadJournal(cfg.CheckpointPath, ncfg)
+	if err != nil {
+		t.Fatalf("journal after cancellation is not loadable: %v", err)
+	}
+	if st.NextUnit <= 0 || st.NextUnit >= ncfg.totalUnits() {
+		t.Fatalf("cancellation left the journal at unit %d, want mid-schedule (0, %d)",
+			st.NextUnit, ncfg.totalUnits())
+	}
+
+	resumed, err := ResumeCtx(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("resume after cancellation: %v", err)
+	}
+	if !resumed.Resumed {
+		t.Fatal("resumed run did not report Resumed")
+	}
+	if want, got := docBytes(t, uninterrupted), docBytes(t, resumed); string(want) != string(got) {
+		t.Fatalf("document after cancel+resume differs from uninterrupted:\n--- uninterrupted\n%s\n--- resumed\n%s", want, got)
+	}
+}
+
+// TestSoakEnvelopeRoundTrip: the exported envelope API (the primitive the
+// serve store is built on) round-trips state bytes exactly and rejects
+// every identity mismatch with a typed reason.
+func TestSoakEnvelopeRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/env.json"
+	type payload struct {
+		A int    `json:"a"`
+		B string `json:"b"`
+	}
+	in := payload{A: 7, B: "x<y&z"}
+	if err := SaveEnvelope(path, "test-magic", 2, 9, "fp", in); err != nil {
+		t.Fatalf("SaveEnvelope: %v", err)
+	}
+	raw, err := LoadEnvelope(path, "test-magic", 2, 9, "fp")
+	if err != nil {
+		t.Fatalf("LoadEnvelope: %v", err)
+	}
+	var out payload
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("unmarshal state: %v", err)
+	}
+	if out != in {
+		t.Fatalf("round trip changed state: %+v != %+v", out, in)
+	}
+
+	cases := []struct {
+		name   string
+		load   func() error
+		reason string
+	}{
+		{"magic", func() error { _, err := LoadEnvelope(path, "other", 2, 9, "fp"); return err }, "corrupt"},
+		{"schema", func() error { _, err := LoadEnvelope(path, "test-magic", 3, 9, "fp"); return err }, "schema"},
+		{"seed", func() error { _, err := LoadEnvelope(path, "test-magic", 2, 8, "fp"); return err }, "mismatch"},
+		{"fingerprint", func() error { _, err := LoadEnvelope(path, "test-magic", 2, 9, "other"); return err }, "mismatch"},
+		{"missing", func() error { _, err := LoadEnvelope(path+".nope", "test-magic", 2, 9, "fp"); return err }, "missing"},
+	}
+	for _, tc := range cases {
+		err := tc.load()
+		var je *JournalError
+		if !errors.As(err, &je) {
+			t.Fatalf("%s: err = %v, want *JournalError", tc.name, err)
+		}
+		if je.Reason != tc.reason {
+			t.Fatalf("%s: reason = %q, want %q", tc.name, je.Reason, tc.reason)
+		}
+	}
+}

@@ -16,10 +16,10 @@ const journalMagic = "protolat-soak-journal"
 // not a silent misread.
 const journalSchema = 1
 
-// JournalError is the typed failure for every way a checkpoint journal can
-// be unusable: missing, truncated, corrupt, or written by an incompatible
-// configuration. Callers distinguish cases by Reason; errors.As recovers
-// the struct.
+// JournalError is the typed failure for every way a checkpoint journal (or
+// any other envelope-based store file — see SaveEnvelope) can be unusable:
+// missing, truncated, corrupt, or written by an incompatible configuration.
+// Callers distinguish cases by Reason; errors.As recovers the struct.
 type JournalError struct {
 	Path   string
 	Reason string // "missing", "corrupt", "schema", "mismatch", "io"
@@ -37,9 +37,11 @@ func (e *JournalError) Error() string {
 // Unwrap exposes the underlying error.
 func (e *JournalError) Unwrap() error { return e.Err }
 
-// journal is the on-disk checkpoint envelope. State is kept as raw bytes so
-// the CRC covers exactly what was written.
-type journal struct {
+// envelope is the on-disk checkpoint format shared by the soak journal and
+// every other crash-safe store built on it (the serve daemon's result store
+// and job queue). State is kept as raw bytes so the CRC covers exactly what
+// was written.
+type envelope struct {
 	Magic       string          `json:"magic"`
 	Schema      int             `json:"schema"`
 	Seed        uint64          `json:"seed"`
@@ -48,20 +50,25 @@ type journal struct {
 	State       json.RawMessage `json:"state"`
 }
 
-// saveJournal checkpoints the state atomically: marshal, CRC, write to a
-// temp file in the same directory, rename over the target. A kill between
-// any two soak chunks therefore leaves either the previous journal or the
-// new one, never a torn file.
-func saveJournal(path string, cfg Config, st *state) error {
-	raw, err := json.Marshal(st)
+// SaveEnvelope checkpoints state atomically under the journal discipline:
+// marshal, CRC, write to a temp file in the same directory, rename over the
+// target. A kill -9 at any instant therefore leaves either the previous
+// file or the new one, never a torn write. magic and schema identify the
+// file format; seed and fingerprint identify the configuration that wrote
+// it, and LoadEnvelope rejects a file whose identity does not match.
+// Exported so other crash-safe stores (the serve daemon's memoized result
+// store and journaled job queue) reuse the exact same discipline and typed
+// failure modes instead of reinventing them.
+func SaveEnvelope(path, magic string, schema int, seed uint64, fingerprint string, state any) error {
+	raw, err := json.Marshal(state)
 	if err != nil {
 		return &JournalError{Path: path, Reason: "io", Err: err}
 	}
-	j := journal{
-		Magic:       journalMagic,
-		Schema:      journalSchema,
-		Seed:        cfg.Seed,
-		Fingerprint: cfg.fingerprint(),
+	j := envelope{
+		Magic:       magic,
+		Schema:      schema,
+		Seed:        seed,
+		Fingerprint: fingerprint,
 		CRC:         crc32.ChecksumIEEE(raw),
 		State:       raw,
 	}
@@ -79,9 +86,14 @@ func saveJournal(path string, cfg Config, st *state) error {
 	return nil
 }
 
-// loadJournal reads and validates a checkpoint, returning the state it
-// carries. Every failure mode maps to a JournalError.
-func loadJournal(path string, cfg Config) (*state, error) {
+// LoadEnvelope reads and validates an envelope written by SaveEnvelope,
+// returning the state bytes it carries (in compact form, exactly what the
+// CRC was computed over). Every failure mode maps to a *JournalError:
+// "missing" when the file does not exist, "corrupt" for torn or tampered
+// bytes (bad JSON, wrong magic, CRC mismatch), "schema" for a version the
+// caller does not speak, and "mismatch" when seed or fingerprint disagree
+// with the expected identity.
+func LoadEnvelope(path, magic string, schema int, seed uint64, fingerprint string) (json.RawMessage, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -89,21 +101,21 @@ func loadJournal(path string, cfg Config) (*state, error) {
 		}
 		return nil, &JournalError{Path: path, Reason: "io", Err: err}
 	}
-	var j journal
+	var j envelope
 	if err := json.Unmarshal(data, &j); err != nil {
 		return nil, &JournalError{Path: path, Reason: "corrupt", Err: err}
 	}
-	if j.Magic != journalMagic {
+	if j.Magic != magic {
 		return nil, &JournalError{Path: path, Reason: "corrupt",
 			Err: fmt.Errorf("magic %q", j.Magic)}
 	}
-	if j.Schema != journalSchema {
+	if j.Schema != schema {
 		return nil, &JournalError{Path: path, Reason: "schema",
-			Err: fmt.Errorf("journal schema %d, this binary speaks %d", j.Schema, journalSchema)}
+			Err: fmt.Errorf("file schema %d, this binary speaks %d", j.Schema, schema)}
 	}
-	if j.Seed != cfg.Seed || j.Fingerprint != cfg.fingerprint() {
+	if j.Seed != seed || j.Fingerprint != fingerprint {
 		return nil, &JournalError{Path: path, Reason: "mismatch",
-			Err: fmt.Errorf("journal was written by a different soak configuration (seed %d, fingerprint %s)", j.Seed, j.Fingerprint)}
+			Err: fmt.Errorf("file was written under a different configuration (seed %d, fingerprint %s)", j.Seed, j.Fingerprint)}
 	}
 	// The envelope was written indented, which re-indents the embedded
 	// state; compact it back to the canonical form the CRC was taken over.
@@ -113,10 +125,27 @@ func loadJournal(path string, cfg Config) (*state, error) {
 	}
 	if got := crc32.ChecksumIEEE(compact.Bytes()); got != j.CRC {
 		return nil, &JournalError{Path: path, Reason: "corrupt",
-			Err: fmt.Errorf("state crc %08x, journal claims %08x", got, j.CRC)}
+			Err: fmt.Errorf("state crc %08x, file claims %08x", got, j.CRC)}
+	}
+	return compact.Bytes(), nil
+}
+
+// saveJournal checkpoints the soak state atomically (see SaveEnvelope). A
+// kill between any two soak chunks leaves either the previous journal or
+// the new one, never a torn file.
+func saveJournal(path string, cfg Config, st *state) error {
+	return SaveEnvelope(path, journalMagic, journalSchema, cfg.Seed, cfg.fingerprint(), st)
+}
+
+// loadJournal reads and validates a checkpoint, returning the state it
+// carries. Every failure mode maps to a JournalError.
+func loadJournal(path string, cfg Config) (*state, error) {
+	raw, err := LoadEnvelope(path, journalMagic, journalSchema, cfg.Seed, cfg.fingerprint())
+	if err != nil {
+		return nil, err
 	}
 	var st state
-	if err := json.Unmarshal(j.State, &st); err != nil {
+	if err := json.Unmarshal(raw, &st); err != nil {
 		return nil, &JournalError{Path: path, Reason: "corrupt", Err: err}
 	}
 	if st.NextUnit < 0 || st.NextUnit > cfg.totalUnits() || len(st.Cells) != cfg.cellCount() {

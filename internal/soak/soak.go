@@ -15,6 +15,7 @@
 package soak
 
 import (
+	"context"
 	"fmt"
 	"hash/crc32"
 
@@ -270,15 +271,28 @@ func runUnit(cfg Config, unit int) (unitOut, error) {
 
 // Run starts a fresh soak (overwriting any journal at CheckpointPath).
 func Run(cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with cooperative cancellation: ctx is consulted at every
+// chunk boundary, so a cancelled run stops with the journal intact at the
+// last completed chunk and ResumeCtx continues it to a byte-identical
+// result.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.normalize()
 	st := &state{Cells: make([]cellState, cfg.cellCount())}
-	return run(cfg, st, false)
+	return run(ctx, cfg, st, false)
 }
 
 // Resume continues a soak from the journal at cfg.CheckpointPath; the
 // configuration must match the one the journal was written under. Resuming
 // a completed journal returns its result unchanged.
 func Resume(cfg Config) (*Result, error) {
+	return ResumeCtx(context.Background(), cfg)
+}
+
+// ResumeCtx is Resume with cooperative cancellation (see RunCtx).
+func ResumeCtx(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.normalize()
 	if cfg.CheckpointPath == "" {
 		return nil, &JournalError{Path: "", Reason: "missing",
@@ -288,16 +302,21 @@ func Resume(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return run(cfg, st, true)
+	return run(ctx, cfg, st, true)
 }
 
 // run executes the schedule from st.NextUnit: chunks of CheckpointEvery
 // units fan out over the worker pool, fold in unit order, verify, and
 // checkpoint. The fold order makes journal bytes — and therefore the final
-// result — independent of the pool width.
-func run(cfg Config, st *state, resumed bool) (*Result, error) {
+// result — independent of the pool width. ctx is consulted at chunk
+// boundaries only, so cancellation never loses completed work: the journal
+// always reflects the last fully folded chunk.
+func run(ctx context.Context, cfg Config, st *state, resumed bool) (*Result, error) {
 	total := cfg.totalUnits()
 	for st.NextUnit < total {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if cfg.StopAfterUnits > 0 && st.NextUnit >= cfg.StopAfterUnits {
 			return result(cfg, st, true, resumed), nil
 		}
@@ -308,7 +327,7 @@ func run(cfg Config, st *state, resumed bool) (*Result, error) {
 		n := end - st.NextUnit
 		first := st.NextUnit
 		outs := make([]unitOut, n)
-		err := core.ForEachIndexed(n, core.Parallelism(), func(i int) error {
+		err := core.ForEachIndexedCtx(ctx, n, core.Parallelism(), func(i int) error {
 			out, err := runUnit(cfg, first+i)
 			if err != nil {
 				return err

@@ -27,10 +27,13 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/protocols/recovery"
+	"repro/internal/serve"
 	"repro/internal/soak"
 )
 
@@ -96,6 +99,11 @@ func DefaultConfig(kind StackKind, v Version) Config { return core.DefaultConfig
 // (see SetParallelism) and assemble in index order, so results are
 // bit-for-bit identical to serial execution.
 func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// RunCtx is Run with cooperative cancellation: ctx is consulted between
+// samples, so a cancelled experiment stops at the next sample boundary.
+// Cancellation changes only whether a result is produced, never its bytes.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) { return core.RunCtx(ctx, cfg) }
 
 // SetParallelism bounds the worker pool Run and the table generators use;
 // n <= 0 restores the default (GOMAXPROCS). Every sample and table cell is
@@ -230,6 +238,17 @@ func FaultStudy(cfg FaultStudyConfig) ([]FaultCell, error) { return core.FaultSt
 // fault counters and the §4.3 phase split of each population.
 func RunFaultStudy(cfg FaultStudyConfig) (string, error) { return core.RunFaultStudy(cfg) }
 
+// FaultStudyCtx and RunFaultStudyCtx are the cancellable forms: ctx is
+// consulted between cells and between the samples within a cell.
+func FaultStudyCtx(ctx context.Context, cfg FaultStudyConfig) ([]FaultCell, error) {
+	return core.FaultStudyCtx(ctx, cfg)
+}
+
+// RunFaultStudyCtx renders the fault study under cooperative cancellation.
+func RunFaultStudyCtx(ctx context.Context, cfg FaultStudyConfig) (string, error) {
+	return core.RunFaultStudyCtx(ctx, cfg)
+}
+
 // Observability layer (see internal/obs). Profile is the per-function
 // attribution of one traced path invocation — set Config.Profile (or use
 // RunVersionsProfiled) to collect one per sample. PhaseSplit decomposes a
@@ -349,6 +368,19 @@ func Soak(cfg SoakConfig) (*SoakResult, error) { return soak.Run(cfg) }
 // ResumeSoak continues a checkpointed soak to completion.
 func ResumeSoak(cfg SoakConfig) (*SoakResult, error) { return soak.Resume(cfg) }
 
+// SoakCtx and ResumeSoakCtx are the cancellable forms: ctx is consulted at
+// chunk boundaries, so a cancelled soak keeps its journal at the last
+// completed chunk and resumes to a byte-identical result.
+func SoakCtx(ctx context.Context, cfg SoakConfig) (*SoakResult, error) {
+	return soak.RunCtx(ctx, cfg)
+}
+
+// ResumeSoakCtx continues a checkpointed soak under cooperative
+// cancellation.
+func ResumeSoakCtx(ctx context.Context, cfg SoakConfig) (*SoakResult, error) {
+	return soak.ResumeCtx(ctx, cfg)
+}
+
 // SoakReport renders a soak result as text; SoakDocOf as the JSON form.
 var (
 	SoakReport = soak.Report
@@ -377,3 +409,26 @@ var (
 	RenderLintStudy = core.RenderLintStudy
 	LintStudyDocOf  = core.LintStudyDocOf
 )
+
+// Experiment daemon (see internal/serve): `protolat -serve` exposes the
+// whole apparatus as a persistent HTTP/JSON service with a bounded
+// journaled job queue, fingerprint-keyed result memoization and request
+// coalescing, per-job watchdogs, graceful drain on SIGTERM, and crash
+// recovery that replays admitted jobs and resumes interrupted soaks from
+// their chunk checkpoints.
+type (
+	// ServeConfig shapes a daemon (address, store directory, queue bound,
+	// drain timeout).
+	ServeConfig = serve.Config
+	// ServeServer is a running daemon; drive it with ListenAndServe or
+	// embed its Handler.
+	ServeServer = serve.Server
+	// ServeSpec is one experiment request (the POST /v1/experiments body).
+	ServeSpec = serve.Spec
+	// ServeStats is the daemon-health section of a stats document.
+	ServeStats = obs.ServeStatsDoc
+)
+
+// NewServer opens the daemon's store, replays the journaled job queue
+// (crash recovery), and starts its worker.
+func NewServer(cfg ServeConfig) (*ServeServer, error) { return serve.New(cfg) }

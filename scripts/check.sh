@@ -4,7 +4,8 @@
 # analyzers), build, the full test suite under the race detector (the
 # parallel runner and the fault-injection paths are both exercised), the
 # fixed-seed fault-study and layout-lint smoke tests with their
-# golden-output diffs, and the CLI documentation drift gate. Perf records
+# golden-output diffs, the experiment-daemon smoke test (memoization,
+# graceful drain, kill -9 recovery), and the CLI documentation drift gate. Perf records
 # are separate: `make bench` refreshes BENCH_*.json and `make profile`
 # captures pprof artifacts; neither is part of the tier-1 gate because
 # wall-clock numbers are machine-dependent (the allocation-regression
@@ -44,5 +45,6 @@ go run ./cmd/protovet
 go test -race ./...
 ./scripts/fault_smoke.sh
 ./scripts/soak_smoke.sh
+./scripts/serve_smoke.sh
 ./scripts/lint_smoke.sh
 ./scripts/doc_check.sh
