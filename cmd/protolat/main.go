@@ -18,6 +18,9 @@
 //	protolat -soak -checkpoint s.journal -resume        # continue from the journal
 //	protolat -profile -top 8                      # per-function mCPI attribution
 //	protolat -lint                                # static layout lint, no simulation
+//	protolat -machines list                       # print the machine-model matrix
+//	protolat -machines all                        # layout x machine sweep, every model
+//	protolat -machines dec3000,modern -stack rpc  # a subset, on the RPC stack
 //	protolat -table 7 -json out.json              # structured export + manifest
 //	protolat -serve -addr :8080 -store /var/lib/protolat   # experiment daemon
 //	protolat -submit spec.json -addr localhost:8080        # submit a spec to it
@@ -64,6 +67,7 @@ func main() {
 		soakstop = flag.Int("soakstop", 0, "stop the soak at the first chunk boundary at or after this many units (0 = run to completion)")
 		seed     = flag.Uint64("seed", 1, "fault-plan seed for -faults and -soak; same seed = byte-identical report at any -parallel")
 		rates    = flag.String("rates", "", "comma-separated fault rates for -faults (default 0,0.02,0.05,0.10)")
+		machsel  = flag.String("machines", "", "run the machine-matrix study on these models: \"all\", a comma-separated list of names, or \"list\" to print the matrix")
 		profile  = flag.Bool("profile", false, "per-function mCPI attribution and i-cache conflict heatmap per version")
 		lint     = flag.Bool("lint", false, "static layout lint: predicted i-cache conflicts per version from placed addresses, no simulation")
 		top      = flag.Int("top", 10, "functions listed per version in -profile output")
@@ -195,6 +199,41 @@ func main() {
 					return err
 				}
 				doc.FaultStudy.Recovery = repro.RecoveryDocOf(rcells)
+				return nil
+			})
+
+	case *machsel != "":
+		if *machsel == "list" {
+			for _, m := range repro.MachineMatrix() {
+				fmt.Printf("%-12s %s\n", m.Name, m.Title)
+			}
+			return
+		}
+		models, err := repro.SelectMachines(*machsel)
+		check(err)
+		cfg := repro.DefaultMachineStudy(kind, *seed)
+		cfg.Models = models
+		if *quality == "paper" {
+			cfg.Quality = repro.Quality{Warmup: 8, Measured: 24, Samples: 3}
+		}
+		// The -rates default belongs to -faults; the machine matrix sweeps
+		// the clean rate unless fault rates are asked for explicitly.
+		machRates := ""
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "rates" {
+				machRates = *rates
+			}
+		})
+		if machRates != "" {
+			cfg.Rates = parseRates(machRates)
+		}
+		cells, err := repro.MachineStudy(cfg)
+		check(err)
+		fmt.Println(repro.RenderMachineStudy(cfg, cells))
+		export(fmt.Sprintf("protolat -machines %s -stack %s -seed %d -rates %s -quality %s",
+			*machsel, stackName(kind), *seed, machRates, *quality), *seed,
+			func(doc *repro.Document) error {
+				doc.Machines = repro.MachineStudyDocOf(cfg, cells)
 				return nil
 			})
 

@@ -64,6 +64,24 @@ type Config struct {
 	// EventBudget bounds the events one sample may execute before the
 	// watchdog declares it runaway; 0 selects DefaultEventBudget.
 	EventBudget int
+
+	// Machine selects the simulated hardware. The zero value means the
+	// paper's DEC 3000/600 (the historical behavior); the machine-matrix
+	// study sets it from internal/machines. Because Machine participates
+	// in the program-cache key and the serve fingerprint, two configs
+	// differing only here never share compiled programs or memoized
+	// results.
+	Machine arch.Machine
+}
+
+// machine resolves Config.Machine, mapping the zero value to the paper's
+// DEC 3000/600 so existing call sites and serialized configs keep their
+// meaning.
+func (c Config) machine() arch.Machine {
+	if c.Machine == (arch.Machine{}) {
+		return arch.DEC3000_600()
+	}
+	return c.Machine
 }
 
 // DefaultEventBudget is the per-sample watchdog limit (the historical
@@ -116,6 +134,12 @@ type Sample struct {
 	// ICache, DCache and BCache are the per-roundtrip client cache
 	// statistics (Table 6).
 	ICache, DCache, BCache mem.Stats
+	// L2Cache is the mid-level cache statistics on machines that have one
+	// (Machine.L2Bytes > 0); zero otherwise.
+	L2Cache mem.Stats
+	// VictimHits counts i-cache misses satisfied by the victim buffer on
+	// machines that have one; zero otherwise.
+	VictimHits uint64
 	// UnusedICacheFrac is the fraction of fetched i-cache block slots
 	// never executed (Table 9).
 	UnusedICacheFrac float64
@@ -279,7 +303,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 // staticPathInstrs computes the static mainline size of the path the
 // version executes (Table 9's Size columns).
 func staticPathInstrs(cfg Config) int {
-	m := arch.DEC3000_600()
+	m := cfg.machine()
 	prog, err := BuildProgram(cfg.Stack, cfg.Version, cfg.Feat, cfg.Strategy, m)
 	if err != nil {
 		return 0
@@ -322,7 +346,7 @@ type hostPair struct {
 
 // buildPair constructs the two hosts for a run.
 func buildPair(cfg Config, sampleIdx, roundtrips int) (*hostPair, error) {
-	m := arch.DEC3000_600()
+	m := cfg.machine()
 	clientProg, err := BuildProgram(cfg.Stack, cfg.Version, cfg.Feat, cfg.Strategy, m)
 	if err != nil {
 		return nil, err
@@ -579,7 +603,7 @@ func runSample(cfg Config, sampleIdx int) (s Sample, err error) {
 	if err != nil {
 		return Sample{}, err
 	}
-	m := arch.DEC3000_600()
+	m := cfg.machine()
 	ch := hp.clientHost
 
 	var startMetrics cpu.Metrics
@@ -596,7 +620,8 @@ func runSample(cfg Config, sampleIdx int) (s Sample, err error) {
 	// classification reset at its start — the paper's methodology of
 	// analyzing one traced invocation.
 	var traceMetrics cpu.Metrics
-	var iStats, dStats, bStats mem.Stats
+	var iStats, dStats, bStats, l2Stats mem.Stats
+	var victimHits uint64
 	var phaseStart, phaseEnd phaseSnap
 	var col *obs.Collector
 	if cfg.Profile {
@@ -628,6 +653,7 @@ func runSample(cfg Config, sampleIdx int) (s Sample, err error) {
 			}
 			traceMetrics = ch.CPU.Metrics().Sub(startMetrics)
 			iStats, dStats, bStats = ch.Mem.IStats, ch.Mem.DStats, ch.Mem.BStats
+			l2Stats, victimHits = ch.Mem.L2Stats, ch.Mem.VictimHits
 			ch.Engine.Observer = nil
 		}
 		if n == roundtrips {
@@ -668,6 +694,8 @@ func runSample(cfg Config, sampleIdx int) (s Sample, err error) {
 		ICache:           iStats,
 		DCache:           dStats,
 		BCache:           bStats,
+		L2Cache:          l2Stats,
+		VictimHits:       victimHits,
 		UnusedICacheFrac: unused,
 		ClassifierMisses: hp.classifierMiss(),
 		Faults:           hp.faultStats(),

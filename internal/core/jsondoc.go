@@ -35,8 +35,15 @@ func cacheDoc(s mem.Stats) obs.CacheDoc {
 	return obs.CacheDoc{Accesses: s.Accesses, Misses: s.Misses, ReplMisses: s.ReplMisses}
 }
 
-// SampleDoc converts one sample to its JSON form.
+// SampleDoc converts one sample to its JSON form. The machine-matrix
+// counters (L2, victim buffer) appear only when non-zero, so documents from
+// the paper's machine keep their pre-matrix byte layout.
 func SampleDoc(s Sample) obs.SampleDoc {
+	var l2 *obs.CacheDoc
+	if s.L2Cache != (mem.Stats{}) {
+		d := cacheDoc(s.L2Cache)
+		l2 = &d
+	}
 	return obs.SampleDoc{
 		TeUS:             s.TeUS,
 		TpUS:             s.TpUS,
@@ -50,6 +57,8 @@ func SampleDoc(s Sample) obs.SampleDoc {
 		UnusedICacheFrac: s.UnusedICacheFrac,
 		ClassifierMisses: s.ClassifierMisses,
 		Phases:           s.Phases,
+		L2Cache:          l2,
+		VictimHits:       s.VictimHits,
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/arch"
+	"repro/internal/machines"
 	"repro/internal/sim/cpu"
 	"repro/internal/trace"
 )
@@ -131,12 +132,22 @@ func SensitivityVersions(kind StackKind, a, b Version, points []SweepPoint, q Qu
 }
 
 // MachineSweep contrasts the paper's testbed with its concluding remark's
-// "low-cost 266 MHz processor with a 66 MB/s memory system".
+// "low-cost 266 MHz processor with a 66 MB/s memory system". Both points
+// come from the curated matrix (internal/machines), the single source of
+// truth for machine variants.
 func MachineSweep() []SweepPoint {
-	return []SweepPoint{
-		{Label: "DEC 3000/600 (175 MHz, 100 MB/s)", Machine: arch.DEC3000_600()},
-		{Label: "future (266 MHz, 66 MB/s)", Machine: arch.Future266()},
+	var pts []SweepPoint
+	for _, p := range []struct{ name, label string }{
+		{"dec3000", "dec3000 (175 MHz, 100 MB/s)"},
+		{"future266", "future266 (266 MHz, 66 MB/s)"},
+	} {
+		m, err := machines.ByName(p.name)
+		if err != nil {
+			panic(err) // matrix names are compile-time constants; see machines tests
+		}
+		pts = append(pts, SweepPoint{Label: p.label, Machine: m.Machine})
 	}
+	return pts
 }
 
 // Sensitivity records STD and ALL traces for a stack once and replays them

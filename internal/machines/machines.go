@@ -1,0 +1,210 @@
+// Package machines holds the curated matrix of machine models used by the
+// machine-model study: the paper's DEC 3000/600 baseline plus variants that
+// change one dimension of the memory system or core at a time —
+// associativity, line size, a victim buffer, a mid-level cache, write
+// policy, and a modern-shaped wide core. The matrix answers the ROADMAP's
+// scenario-diversity question: which of the paper's 1996 layout conclusions
+// survive on hardware shaped like what came after.
+//
+// Every model derives from arch.DEC3000_600 so that a variant differs from
+// the baseline only in the dimension it is named for, and every model
+// passes arch.Machine.Validate (a tested invariant). Models keep the
+// baseline's 175 MHz clock unless the variant is explicitly about clock
+// scaling (future266), because the network wire model charges fixed
+// 175 MHz cycle counts; see docs/MACHINES.md for the caveat.
+package machines
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+)
+
+// Model is one named machine configuration in the matrix.
+type Model struct {
+	// Name is the stable identifier used on the CLI (-machines), in the
+	// JSON document, and in report tables. Lowercase, no spaces.
+	Name string
+	// Title is the one-line human description shown in reports and in
+	// docs/MACHINES.md.
+	Title string
+	// Provenance says where the configuration comes from: the paper, a
+	// related-work system, or a synthetic what-if.
+	Provenance string
+	// Machine is the full parameter set; always valid.
+	Machine arch.Machine
+}
+
+// Matrix returns the curated machine matrix in canonical report order:
+// baseline first, then single-dimension memory variants, then the
+// composite modern core, then the clock-scaled future machine.
+func Matrix() []Model {
+	base := arch.DEC3000_600()
+
+	l1 := func(assoc int) arch.Machine {
+		m := base
+		m.Assoc = assoc
+		return m
+	}
+	line := func(bytes int) arch.Machine {
+		m := base
+		m.BlockBytes = bytes
+		return m
+	}
+
+	victim := base
+	victim.VictimEntries = 8
+	victim.VictimHitCycles = 2
+
+	l2 := base
+	l2.L2Bytes = 256 * 1024
+	l2.L2Assoc = 4
+	l2.L2HitCycles = 6
+
+	walloc := base
+	walloc.DCacheWriteAllocate = true
+
+	modern := base
+	modern.Assoc = 8
+	modern.IssueWidth = 4
+	modern.TakenBranchCycles = 1
+	modern.MulCycles = 3
+	modern.ICacheBytes = 32 * 1024
+	modern.DCacheBytes = 32 * 1024
+	modern.BlockBytes = 64
+	modern.L2Bytes = 1024 * 1024
+	modern.L2Assoc = 8
+	modern.L2HitCycles = 12
+	modern.BCacheHitCycles = 30
+	modern.MemoryCycles = 120
+	modern.DCacheWriteAllocate = true
+
+	return []Model{
+		{
+			Name:       "dec3000",
+			Title:      "DEC 3000/600: the paper's machine (direct-mapped split 8KB L1, 32B lines)",
+			Provenance: "Mosberger et al. 1996, §2",
+			Machine:    base,
+		},
+		{
+			Name:       "l1-2way",
+			Title:      "2-way set-associative L1s, otherwise the paper's machine",
+			Provenance: "synthetic: first step of the associativity ladder",
+			Machine:    l1(2),
+		},
+		{
+			Name:       "l1-4way",
+			Title:      "4-way set-associative L1s, otherwise the paper's machine",
+			Provenance: "synthetic: mid-1990s competitive designs (e.g. PA-7200 assist cache era)",
+			Machine:    l1(4),
+		},
+		{
+			Name:       "l1-8way",
+			Title:      "8-way set-associative L1s, otherwise the paper's machine",
+			Provenance: "synthetic: conflict misses essentially eliminated",
+			Machine:    l1(8),
+		},
+		{
+			Name:       "line64",
+			Title:      "64-byte cache lines everywhere, otherwise the paper's machine",
+			Provenance: "synthetic: the line size that became universal",
+			Machine:    line(64),
+		},
+		{
+			Name:       "line128",
+			Title:      "128-byte cache lines everywhere, otherwise the paper's machine",
+			Provenance: "synthetic: POWER-class long lines",
+			Machine:    line(128),
+		},
+		{
+			Name:       "victim8",
+			Title:      "8-entry fully-associative victim buffer behind the i-cache",
+			Provenance: "Jouppi, ISCA 1990 (victim caches)",
+			Machine:    victim,
+		},
+		{
+			Name:       "l2-256k",
+			Title:      "256KB 4-way unified mid-level cache between L1 and the board cache",
+			Provenance: "synthetic: three-level hierarchy as on late-1990s parts",
+			Machine:    l2,
+		},
+		{
+			Name:       "walloc",
+			Title:      "write-allocate d-cache (read-for-ownership on unmerged store miss)",
+			Provenance: "CloverLeaf write-allocate-evasion study (PAPERS.md)",
+			Machine:    walloc,
+		},
+		{
+			Name:       "modern",
+			Title:      "modern-shaped core: 4-wide, 1-cycle taken branch, 32KB 8-way L1s, 64B lines, 1MB L2, write-allocate",
+			Provenance: "synthetic composite of a contemporary mid-range core at the paper's 175 MHz clock",
+			Machine:    modern,
+		},
+		{
+			Name:       "future266",
+			Title:      "the paper's §7 projected 266 MHz successor (memory latencies scaled with clock)",
+			Provenance: "Mosberger et al. 1996, §7",
+			Machine:    arch.Future266(),
+		},
+	}
+}
+
+// ByName returns the model with the given name.
+func ByName(name string) (Model, error) {
+	for _, m := range Matrix() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Model{}, fmt.Errorf("machines: unknown model %q (known: %s)", name, strings.Join(Names(), ", "))
+}
+
+// Names returns the model names in canonical matrix order.
+func Names() []string {
+	ms := Matrix()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// Select resolves a CLI-style model selection: "all" (or "") yields the
+// full matrix, otherwise a comma-separated list of model names, resolved
+// in the order given with duplicates rejected.
+func Select(spec string) ([]Model, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "all" {
+		return Matrix(), nil
+	}
+	seen := make(map[string]bool)
+	var out []Model
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("machines: model %q selected twice", name)
+		}
+		seen[name] = true
+		m, err := ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("machines: empty model selection %q", spec)
+	}
+	return out, nil
+}
+
+// sortedNames is used by tests to assert name uniqueness deterministically.
+func sortedNames() []string {
+	n := Names()
+	sort.Strings(n)
+	return n
+}

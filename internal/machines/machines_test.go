@@ -1,0 +1,97 @@
+package machines
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMatrixModelsAllValid(t *testing.T) {
+	ms := Matrix()
+	if len(ms) < 8 {
+		t.Fatalf("matrix has %d models, want >= 8", len(ms))
+	}
+	for _, m := range ms {
+		if err := m.Machine.Validate(); err != nil {
+			t.Errorf("model %s invalid: %v", m.Name, err)
+		}
+		if m.Title == "" || m.Provenance == "" {
+			t.Errorf("model %s missing title or provenance", m.Name)
+		}
+		if m.Name != strings.ToLower(m.Name) || strings.ContainsAny(m.Name, " \t") {
+			t.Errorf("model name %q not lowercase/space-free", m.Name)
+		}
+	}
+}
+
+func TestMatrixNamesUnique(t *testing.T) {
+	names := sortedNames()
+	for i := 1; i < len(names); i++ {
+		if names[i] == names[i-1] {
+			t.Errorf("duplicate model name %q", names[i])
+		}
+	}
+}
+
+func TestMatrixBaselineFirst(t *testing.T) {
+	ms := Matrix()
+	if ms[0].Name != "dec3000" {
+		t.Errorf("first model = %s, want dec3000 (baseline anchors report tables)", ms[0].Name)
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, err := ByName("l1-4way")
+	if err != nil {
+		t.Fatalf("ByName(l1-4way): %v", err)
+	}
+	if m.Machine.Assoc != 4 {
+		t.Errorf("l1-4way Assoc = %d, want 4", m.Machine.Assoc)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName accepted unknown model")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("all")
+	if err != nil || len(all) != len(Matrix()) {
+		t.Fatalf("Select(all) = %d models, err %v", len(all), err)
+	}
+	if def, err := Select(""); err != nil || len(def) != len(Matrix()) {
+		t.Fatalf("Select(\"\") = %d models, err %v", len(def), err)
+	}
+	two, err := Select("future266, dec3000")
+	if err != nil {
+		t.Fatalf("Select pair: %v", err)
+	}
+	if len(two) != 2 || two[0].Name != "future266" || two[1].Name != "dec3000" {
+		t.Errorf("Select pair preserved order wrong: %+v", two)
+	}
+	if _, err := Select("dec3000,dec3000"); err == nil {
+		t.Error("Select accepted duplicate")
+	}
+	if _, err := Select("bogus"); err == nil {
+		t.Error("Select accepted unknown model")
+	}
+	if _, err := Select(","); err == nil {
+		t.Error("Select accepted empty selection")
+	}
+}
+
+func TestVariantsDeriveFromBaseline(t *testing.T) {
+	base, err := ByName("dec3000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-dimension variants must keep the baseline clock so network
+	// wire timing (fixed 175 MHz cycle constants) stays comparable.
+	for _, name := range []string{"l1-2way", "l1-4way", "l1-8way", "line64", "line128", "victim8", "l2-256k", "walloc", "modern"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Machine.ClockMHz != base.Machine.ClockMHz {
+			t.Errorf("model %s clock = %v, want baseline %v", name, m.Machine.ClockMHz, base.Machine.ClockMHz)
+		}
+	}
+}

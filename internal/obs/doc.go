@@ -113,6 +113,12 @@ type SampleDoc struct {
 	UnusedICacheFrac float64    `json:"unused_icache_frac"`
 	ClassifierMisses int        `json:"classifier_misses,omitempty"`
 	Phases           PhaseSplit `json:"phases"`
+	// L2Cache and VictimHits appear only on machine-matrix variants that
+	// have the corresponding structure; both are omitted on the paper's
+	// machine, so documents produced before the matrix existed are
+	// byte-identical.
+	L2Cache    *CacheDoc `json:"l2cache,omitempty"`
+	VictimHits uint64    `json:"victim_hits,omitempty"`
 }
 
 // FuncCountDoc names one function's share of a conflict set.
@@ -344,6 +350,41 @@ type VerifyDoc struct {
 	Cells    []LintCellDoc `json:"cells"`
 }
 
+// MachineModelDoc describes one machine model of the matrix: its identity
+// plus the full parameter set, so a document is self-contained.
+type MachineModelDoc struct {
+	Name       string       `json:"name"`
+	Title      string       `json:"title"`
+	Provenance string       `json:"provenance"`
+	Machine    arch.Machine `json:"machine"`
+}
+
+// MachineCellDoc is one (model, version, rate) measurement of the
+// machine-matrix study.
+type MachineCellDoc struct {
+	Model             string  `json:"model"`
+	Version           string  `json:"version"`
+	Rate              float64 `json:"rate,omitempty"`
+	TeUS              float64 `json:"te_us"`
+	TpUS              float64 `json:"tp_us"`
+	MCPI              float64 `json:"mcpi"`
+	ICacheMisses      uint64  `json:"icache_misses"`
+	ICacheRepl        uint64  `json:"icache_repl"`
+	L2Misses          uint64  `json:"l2_misses,omitempty"`
+	VictimHits        uint64  `json:"victim_hits,omitempty"`
+	LintPredictedRepl int     `json:"lint_predicted_repl"`
+}
+
+// MachinesDoc is the machine-matrix section of a document: the models swept
+// and every (model, version, rate) cell (protolat -machines).
+type MachinesDoc struct {
+	Stack    string            `json:"stack"`
+	Strategy string            `json:"strategy"`
+	Seed     uint64            `json:"seed"`
+	Models   []MachineModelDoc `json:"models"`
+	Cells    []MachineCellDoc  `json:"cells"`
+}
+
 // Document is the root of a protolat JSON export: the manifest plus
 // whatever the selected mode produced.
 type Document struct {
@@ -355,6 +396,7 @@ type Document struct {
 	Soak       *SoakDoc       `json:"soak,omitempty"`
 	Verify     *VerifyDoc     `json:"verify,omitempty"`
 	Serve      *ServeStatsDoc `json:"serve,omitempty"`
+	Machines   *MachinesDoc   `json:"machines,omitempty"`
 }
 
 // Marshal renders the document as indented JSON with a trailing newline.

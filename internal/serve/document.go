@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/machines"
 	"repro/internal/obs"
 	"repro/internal/protocols/recovery"
 	"repro/internal/soak"
@@ -155,6 +156,33 @@ func (s *Server) buildDocument(ctx context.Context, spec Spec, fp string) (*obs.
 		}
 		doc := s.newDoc(fmt.Sprintf("protolat -lint -stack %s", spec.Stack), 0, q)
 		doc.Verify = core.LintStudyDocOf(kind, core.Bipartite, cells)
+		return doc, nil
+
+	case "machines":
+		models, err := machines.Select(spec.Models)
+		if err != nil {
+			return nil, &SpecError{Field: "models", Msg: err.Error()}
+		}
+		cfg := core.DefaultMachineStudy(kind, spec.Seed)
+		cfg.Models = models
+		if spec.Quality == "paper" {
+			cfg.Quality = core.Quality{Warmup: 8, Measured: 24, Samples: 3}
+		}
+		if spec.Rates != "" {
+			rates, err := parseRates(spec.Rates)
+			if err != nil {
+				return nil, &SpecError{Field: "rates", Msg: err.Error()}
+			}
+			cfg.Rates = rates
+		}
+		cfg.EventBudget = s.cfg.EventBudget
+		cells, err := core.MachineStudyCtx(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		doc := s.newDoc(fmt.Sprintf("protolat -machines %s -stack %s -seed %d -rates %s -quality %s",
+			spec.Models, spec.Stack, spec.Seed, spec.Rates, spec.Quality), spec.Seed, q)
+		doc.Machines = core.MachineStudyDocOf(cfg, cells)
 		return doc, nil
 
 	case "profile":

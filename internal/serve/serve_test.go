@@ -119,6 +119,37 @@ func TestSubmitMemoizesByteIdentical(t *testing.T) {
 	}
 }
 
+// TestSubmitMachinesMemoizes: the machines kind flows through the daemon —
+// compute, memoize, and serve byte-identically — with the machine
+// selection in the fingerprint and the machines section in the document.
+func TestSubmitMachinesMemoizes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	spec := `{"kind":"machines","models":"dec3000"}`
+	r1, b1 := post(t, ts, spec)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("first submit: %s: %s", r1.Status, b1)
+	}
+	var doc struct {
+		Machines *struct {
+			Models []struct{ Name string }  `json:"models"`
+			Cells  []struct{ Model string } `json:"cells"`
+		} `json:"machines"`
+	}
+	if err := json.Unmarshal(b1, &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if doc.Machines == nil || len(doc.Machines.Models) != 1 || len(doc.Machines.Cells) != 6 {
+		t.Fatalf("machines section malformed: %+v", doc.Machines)
+	}
+	r2, b2 := post(t, ts, spec)
+	if r2.StatusCode != http.StatusOK || r2.Header.Get("X-Protolat-Cache") != "hit" {
+		t.Fatalf("second submit: %s cache=%q", r2.Status, r2.Header.Get("X-Protolat-Cache"))
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("memoized machines response is not byte-identical")
+	}
+}
+
 // TestStoreRoundTripByteIdentity pins the invariant memoization rests on:
 // a Document.Marshal output survives the envelope store byte-exactly.
 func TestStoreRoundTripByteIdentity(t *testing.T) {
@@ -499,6 +530,9 @@ func TestValidation(t *testing.T) {
 		{"bad table", `{"kind":"table","table":12}`, "spec"},
 		{"bad rates", `{"kind":"faults","rates":"0.5,2.0"}`, "spec"},
 		{"bad policy", `{"kind":"run","policy":"psychic"}`, "spec"},
+		{"bad model", `{"kind":"machines","models":"pdp11"}`, "spec"},
+		{"dup model", `{"kind":"machines","models":"dec3000,dec3000"}`, "spec"},
+		{"bad machine rates", `{"kind":"machines","rates":"-1"}`, "spec"},
 	}
 	for _, tc := range cases {
 		resp, body := post(t, ts, tc.spec)
@@ -532,6 +566,15 @@ func TestFingerprintCanonicalization(t *testing.T) {
 	// Irrelevant fields are zeroed per kind.
 	if (Spec{Kind: "lint", Seed: 99, Samples: 7}).Fingerprint("v1") != (Spec{Kind: "lint"}).Fingerprint("v1") {
 		t.Fatal("fields irrelevant to lint changed its fingerprint")
+	}
+	// The machine selection is a semantic input: empty and "all" share a
+	// fingerprint, a named subset does not.
+	ma := Spec{Kind: "machines"}.Fingerprint("v1")
+	if (Spec{Kind: "machines", Models: "ALL"}).Fingerprint("v1") != ma {
+		t.Fatal("machines \"\" and \"all\" fingerprint differently")
+	}
+	if (Spec{Kind: "machines", Models: "dec3000,modern"}).Fingerprint("v1") == ma {
+		t.Fatal("machine subset shares the full matrix's fingerprint")
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/machines"
 	"repro/internal/protocols/recovery"
 )
 
@@ -48,7 +49,7 @@ import (
 // fingerprint — and therefore memoize and coalesce — identically.
 type Spec struct {
 	// Kind is the experiment mode: "run", "table", "faults", "soak",
-	// "lint", or "profile".
+	// "lint", "profile", or "machines".
 	Kind string `json:"kind"`
 	// Stack selects the protocol stack: "tcpip" (default) or "rpc".
 	Stack string `json:"stack,omitempty"`
@@ -74,6 +75,11 @@ type Spec struct {
 	// (0 keeps the quality default).
 	SoakBatches    int `json:"soak_batches,omitempty"`
 	SoakRoundtrips int `json:"soak_roundtrips,omitempty"`
+	// Models is the machine-model selection for "machines": "all"
+	// (default) or a comma-separated list of matrix names. The machines
+	// land in the canonical spec, so two selections that sweep different
+	// hardware fingerprint — and memoize — separately.
+	Models string `json:"models,omitempty"`
 	// TimeoutMS bounds the job's execution (0 = the daemon default). A
 	// deadline is an execution detail, not a semantic input, so it is
 	// excluded from the fingerprint.
@@ -121,35 +127,48 @@ func (s Spec) Normalized() Spec {
 			s.Samples = 3
 		}
 		s.Table, s.Seed, s.Rates, s.Top = 0, 0, "", 0
-		s.SoakBatches, s.SoakRoundtrips = 0, 0
+		s.SoakBatches, s.SoakRoundtrips, s.Models = 0, 0, ""
 	case "table":
 		s.Version, s.Samples, s.Policy = "", 0, ""
 		s.Seed, s.Rates, s.Top = 0, "", 0
-		s.SoakBatches, s.SoakRoundtrips = 0, 0
+		s.SoakBatches, s.SoakRoundtrips, s.Models = 0, 0, ""
 	case "faults":
 		if s.Seed == 0 {
 			s.Seed = 1
 		}
 		s.Version, s.Samples, s.Policy, s.Table, s.Top = "", 0, "", 0, 0
-		s.SoakBatches, s.SoakRoundtrips = 0, 0
+		s.SoakBatches, s.SoakRoundtrips, s.Models = 0, 0, ""
 	case "soak":
 		if s.Seed == 0 {
 			s.Seed = 1
 		}
 		s.Version, s.Samples, s.Policy, s.Table = "", 0, "", 0
-		s.Rates, s.Top = "", 0
+		s.Rates, s.Top, s.Models = "", 0, ""
 	case "lint":
 		// Lint is static: neither quality nor any run parameter matters.
 		s.Quality = "quick"
 		s.Version, s.Samples, s.Policy, s.Table = "", 0, "", 0
 		s.Seed, s.Rates, s.Top = 0, "", 0
-		s.SoakBatches, s.SoakRoundtrips = 0, 0
+		s.SoakBatches, s.SoakRoundtrips, s.Models = 0, 0, ""
 	case "profile":
 		if s.Top <= 0 {
 			s.Top = 10
 		}
 		s.Version, s.Samples, s.Policy, s.Table = "", 0, "", 0
 		s.Seed, s.Rates = 0, ""
+		s.SoakBatches, s.SoakRoundtrips, s.Models = 0, 0, ""
+	case "machines":
+		if s.Seed == 0 {
+			s.Seed = 1
+		}
+		// "all" and "" select the same sweep; canonicalize to "all" so
+		// both spellings share one fingerprint. Explicit lists keep their
+		// order — it is report order, a semantic input.
+		s.Models = strings.ReplaceAll(strings.ToLower(s.Models), " ", "")
+		if s.Models == "" {
+			s.Models = "all"
+		}
+		s.Version, s.Samples, s.Policy, s.Table, s.Top = "", 0, "", 0, 0
 		s.SoakBatches, s.SoakRoundtrips = 0, 0
 	}
 	return s
@@ -159,11 +178,11 @@ func (s Spec) Normalized() Spec {
 // first offending field.
 func (s Spec) Validate() error {
 	switch s.Kind {
-	case "run", "table", "faults", "soak", "lint", "profile":
+	case "run", "table", "faults", "soak", "lint", "profile", "machines":
 	case "":
-		return &SpecError{Field: "kind", Msg: "required (run, table, faults, soak, lint, profile)"}
+		return &SpecError{Field: "kind", Msg: "required (run, table, faults, soak, lint, profile, machines)"}
 	default:
-		return &SpecError{Field: "kind", Msg: fmt.Sprintf("unknown kind %q (want run, table, faults, soak, lint, profile)", s.Kind)}
+		return &SpecError{Field: "kind", Msg: fmt.Sprintf("unknown kind %q (want run, table, faults, soak, lint, profile, machines)", s.Kind)}
 	}
 	if s.Stack != "tcpip" && s.Stack != "rpc" {
 		return &SpecError{Field: "stack", Msg: fmt.Sprintf("unknown stack %q (want tcpip or rpc)", s.Stack)}
@@ -184,6 +203,15 @@ func (s Spec) Validate() error {
 			return &SpecError{Field: "table", Msg: fmt.Sprintf("table %d out of range (want 1..9)", s.Table)}
 		}
 	case "faults":
+		if s.Rates != "" {
+			if _, err := parseRates(s.Rates); err != nil {
+				return &SpecError{Field: "rates", Msg: err.Error()}
+			}
+		}
+	case "machines":
+		if _, err := machines.Select(s.Models); err != nil {
+			return &SpecError{Field: "models", Msg: err.Error()}
+		}
 		if s.Rates != "" {
 			if _, err := parseRates(s.Rates); err != nil {
 				return &SpecError{Field: "rates", Msg: err.Error()}

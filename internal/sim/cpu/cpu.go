@@ -90,14 +90,31 @@ type CPU struct {
 	pairablePerfect bool
 	// pairGate rations dual issue: the 21064's strict issue rules and
 	// real data dependences mean only a fraction of adjacent pairs
-	// actually dual-issue; every third opportunity is taken.
+	// actually dual-issue; every gateMod-th opportunity is taken.
 	pairGate        int
 	pairGatePerfect int
+
+	// gateMod is derived from Machine.IssueWidth: 3 on a dual-issue
+	// machine like the 21064 (one in three pairable opportunities
+	// actually pairs), 2 on a three-wide core, and 1 — every opportunity
+	// pairs — at width four and beyond, modeling how wider decode and
+	// fewer issue restrictions let more adjacent independent ops
+	// co-issue. The dynamic pairing model stays two ops per cycle; width
+	// buys a higher success rate, not wider bundles.
+	gateMod int
 }
 
 // New returns a CPU executing against hierarchy h.
 func New(h *mem.Hierarchy) *CPU {
-	return &CPU{m: h.Machine(), h: h}
+	m := h.Machine()
+	gate := 3
+	switch {
+	case m.IssueWidth >= 4:
+		gate = 1
+	case m.IssueWidth == 3:
+		gate = 2
+	}
+	return &CPU{m: m, h: h, gateMod: gate}
 }
 
 // Hierarchy returns the attached memory hierarchy.
@@ -174,7 +191,7 @@ func (c *CPU) Step(e Entry) {
 	if c.pairablePerfect && pairsWith(e.Op) {
 		c.pairGatePerfect++
 	}
-	if c.pairablePerfect && pairsWith(e.Op) && c.pairGatePerfect%3 == 0 {
+	if c.pairablePerfect && pairsWith(e.Op) && c.pairGatePerfect%c.gateMod == 0 {
 		// Issues in the same cycle as the previous instruction: the
 		// incremental perfect cost is issue-1 (a load's use bubble
 		// still applies).
@@ -197,7 +214,7 @@ func (c *CPU) Step(e Entry) {
 	if c.pairable && stall == 0 && pairsWith(e.Op) {
 		c.pairGate++
 	}
-	if c.pairable && stall == 0 && pairsWith(e.Op) && c.pairGate%3 == 0 {
+	if c.pairable && stall == 0 && pairsWith(e.Op) && c.pairGate%c.gateMod == 0 {
 		c.metrics.Cycles += issue - 1
 		c.pairable = false
 	} else {

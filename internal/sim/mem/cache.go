@@ -3,6 +3,15 @@
 // direct-mapped b-cache, and main memory, with the single-entry sequential
 // instruction stream buffer that makes sequential code layouts profitable.
 //
+// The machine description (internal/arch) can extend the baseline with the
+// what-if structures of the machine-model matrix, all disabled on the
+// paper's machine: set-associative LRU first-level caches (Assoc > 1), a
+// small fully-associative victim buffer behind the i-cache
+// (VictimEntries), a unified mid-level cache between the first-level
+// caches and the b-cache (L2Bytes), and a write-allocate d-cache policy
+// (DCacheWriteAllocate). With every extension disabled the simulated
+// behaviour is bit-identical to the original two-level model.
+//
 // The simulator classifies every miss as either a cold miss (first touch of
 // the block within the current measurement epoch) or a replacement miss (the
 // block was resident earlier in the epoch and was evicted by a conflicting
@@ -144,6 +153,50 @@ func (c *cache) access(addr uint64) (hit, repl bool) {
 	return false, seenBefore
 }
 
+// accessEvict is access plus eviction reporting: on a miss that displaces
+// a resident block, it also returns the displaced block number. It exists
+// for cache levels backed by a victim buffer (the evicted block is what
+// parks there); it is kept separate from access so the common no-victim
+// path stays lean.
+func (c *cache) accessEvict(addr uint64) (hit, repl bool, evicted uint64, hasEvict bool) {
+	b := addr >> c.blockShift
+	base := (b & c.setMask) * c.assoc
+	g := c.gen
+	if c.assoc == 1 {
+		if c.stamps[base] == g {
+			if c.lines[base] == b {
+				return true, false, 0, false
+			}
+			evicted, hasEvict = c.lines[base], true
+		}
+		c.lines[base] = b
+		c.stamps[base] = g
+		return false, c.seen.add(b), evicted, hasEvict
+	}
+	lines := c.lines[base : base+c.assoc]
+	stamps := c.stamps[base : base+c.assoc]
+	for i := range lines {
+		if stamps[i] != g {
+			break
+		}
+		if lines[i] == b {
+			copy(lines[1:i+1], lines[:i])
+			lines[0] = b
+			return true, false, 0, false
+		}
+	}
+	if stamps[c.assoc-1] == g {
+		// The set is full: the LRU way is about to be displaced.
+		evicted, hasEvict = lines[c.assoc-1], true
+	}
+	seenBefore := c.seen.add(b)
+	copy(lines[1:], lines[:c.assoc-1])
+	copy(stamps[1:], stamps[:c.assoc-1])
+	lines[0] = b
+	stamps[0] = g
+	return false, seenBefore, evicted, hasEvict
+}
+
 // beginEpoch forgets the miss-classification history but keeps contents, so
 // that a measurement epoch starts with warm caches and zero counters.
 func (c *cache) beginEpoch() { c.seen.clear() }
@@ -235,6 +288,45 @@ func (s *u64set) clear() {
 		s.gen = 1
 	}
 }
+
+// victimBuffer is a small fully-associative LRU buffer of blocks recently
+// evicted from a cache (Jouppi's victim cache, ISCA 1990). take removes a
+// block on a hit — the classic swap back into the main cache — and put
+// parks a newly evicted block at the MRU position, dropping the LRU one
+// when full. Capacities are a handful of entries, so linear probes are
+// cheaper than any indexing structure.
+type victimBuffer struct {
+	blocks []uint64
+	n      int // live entries occupy blocks[:n]
+}
+
+func newVictimBuffer(entries int) *victimBuffer {
+	return &victimBuffer{blocks: make([]uint64, entries)}
+}
+
+// take removes block b if present, reporting whether it was found.
+func (v *victimBuffer) take(b uint64) bool {
+	for i := 0; i < v.n; i++ {
+		if v.blocks[i] == b {
+			copy(v.blocks[i:], v.blocks[i+1:v.n])
+			v.n--
+			return true
+		}
+	}
+	return false
+}
+
+// put inserts b at the MRU position, evicting the LRU entry when full.
+func (v *victimBuffer) put(b uint64) {
+	if v.n < len(v.blocks) {
+		v.n++
+	}
+	copy(v.blocks[1:v.n], v.blocks[:v.n-1])
+	v.blocks[0] = b
+}
+
+// reset empties the buffer.
+func (v *victimBuffer) reset() { v.n = 0 }
 
 // writeBuffer models the 21064's 4-deep write buffer. Each entry holds one
 // cache block and merges subsequent stores to the same block; entries retire

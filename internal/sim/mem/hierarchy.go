@@ -17,6 +17,19 @@ type Hierarchy struct {
 	bcache *cache
 	wbuf   *writeBuffer
 
+	// l2, when non-nil, is the optional unified mid-level cache between
+	// the first-level caches and the b-cache (Machine.L2Bytes > 0).
+	// First-level fills and stream-buffer prefetches probe it; write-
+	// buffer retirement bypasses it straight to the b-cache (the write
+	// path stays write-through).
+	l2 *cache
+
+	// victim, when non-nil, is the small fully-associative buffer of
+	// blocks recently evicted from the i-cache (Machine.VictimEntries >
+	// 0). An i-cache miss that finds its block there swaps it back for
+	// VictimHitCycles instead of taking the fill path.
+	victim *victimBuffer
+
 	// iShift mirrors icache.blockShift so the per-instruction fetch fast
 	// path needs no pointer chase into the cache struct.
 	iShift uint
@@ -49,6 +62,16 @@ type Hierarchy struct {
 	DStats Stats
 	BStats Stats
 
+	// L2Stats counts mid-level cache probes; it stays zero on machines
+	// without an L2 (L2Bytes == 0), including the paper's DEC 3000/600.
+	L2Stats Stats
+
+	// VictimHits counts i-cache misses satisfied by the victim buffer.
+	// These still count as IStats misses — the i-cache itself did miss —
+	// so per-set replacement counts stay comparable with the static lint;
+	// only the stall cycles change.
+	VictimHits uint64
+
 	// OnIMiss, when non-nil, observes every i-cache miss: the faulting
 	// instruction address and whether the miss was a replacement
 	// (conflict) miss rather than a cold one. The observability layer
@@ -71,6 +94,12 @@ func New(m arch.Machine) *Hierarchy {
 		dcache: newCache(m.DCacheBytes, m.BlockBytes, assoc),
 		bcache: newCache(m.BCacheBytes, m.BlockBytes, 1),
 		wbuf:   newWriteBuffer(m.WriteBufferEntries, m.WriteRetireCycles),
+	}
+	if m.L2Bytes > 0 {
+		h.l2 = newCache(m.L2Bytes, m.BlockBytes, m.L2Assoc)
+	}
+	if m.VictimEntries > 0 {
+		h.victim = newVictimBuffer(m.VictimEntries)
 	}
 	h.iShift = h.icache.blockShift
 	return h
@@ -123,6 +152,28 @@ func (h *Hierarchy) bAccess(addr uint64, stallOnHit uint64) (stall uint64) {
 	return uint64(h.m.MemoryCycles)
 }
 
+// fillAccess services a first-level fill (i-cache fill, stream-buffer
+// prefetch, or d-cache load miss) through the rest of the hierarchy: the
+// optional unified L2 first, then the b-cache. Machines without an L2
+// degenerate to a plain b-cache access, keeping the paper's baseline
+// bit-identical. Write-buffer retirement deliberately does not come through
+// here — the write path is write-through straight to the b-cache.
+func (h *Hierarchy) fillAccess(addr uint64, stallOnHit uint64) (stall uint64) {
+	if h.l2 == nil {
+		return h.bAccess(addr, stallOnHit)
+	}
+	h.L2Stats.Accesses++
+	hit, repl := h.l2.access(addr)
+	if hit {
+		return uint64(h.m.L2HitCycles)
+	}
+	h.L2Stats.Misses++
+	if repl {
+		h.L2Stats.ReplMisses++
+	}
+	return h.bAccess(addr, stallOnHit)
+}
+
 // FetchInstr simulates the instruction fetch for the instruction at addr.
 // Every dynamic instruction counts as one i-cache access, so
 // IStats.Accesses equals the dynamic instruction count, as in the paper.
@@ -140,9 +191,17 @@ func (h *Hierarchy) FetchInstr(now, addr uint64) (stall uint64) {
 }
 
 // fetchSlow is the out-of-line continuation of FetchInstr: a real i-cache
-// lookup, and on a miss the stream-buffer/b-cache fill path.
+// lookup, and on a miss the victim-buffer/stream-buffer/fill path.
 func (h *Hierarchy) fetchSlow(now, addr, block uint64) (stall uint64) {
-	hit, repl := h.icache.access(addr)
+	var hit, repl, hasEvict bool
+	var evicted uint64
+	if h.victim != nil {
+		// Track which resident block the fill displaces so it can be
+		// parked in the victim buffer (Jouppi-style) instead of lost.
+		hit, repl, evicted, hasEvict = h.icache.accessEvict(addr)
+	} else {
+		hit, repl = h.icache.access(addr)
+	}
 	if hit {
 		h.lastIBlock, h.lastIValid = block, true
 		return 0
@@ -154,6 +213,21 @@ func (h *Hierarchy) fetchSlow(now, addr, block uint64) (stall uint64) {
 	if h.OnIMiss != nil {
 		h.OnIMiss(addr, repl)
 	}
+	if h.victim != nil && h.victim.take(block) {
+		// Victim hit: the displaced block swaps back in one short
+		// transfer. No stream-buffer prefetch — the victim path exists
+		// precisely because the reference pattern is ping-ponging
+		// between conflicting blocks, not streaming forward.
+		h.VictimHits++
+		if hasEvict {
+			h.victim.put(evicted)
+		}
+		h.lastIBlock, h.lastIValid = block, true
+		return uint64(h.m.VictimHitCycles)
+	}
+	if hasEvict {
+		h.victim.put(evicted)
+	}
 	if h.streamValid && h.streamBlock == block {
 		// The block was sequentially prefetched: cheap fill, plus
 		// however long the prefetch itself still needs to arrive.
@@ -162,16 +236,16 @@ func (h *Hierarchy) fetchSlow(now, addr, block uint64) (stall uint64) {
 			stall += h.streamReadyAt - now
 		}
 	} else {
-		stall = h.bAccess(addr, uint64(h.m.BCacheHitCycles))
+		stall = h.fillAccess(addr, uint64(h.m.BCacheHitCycles))
 	}
 	// The miss filled the block, so it is resident (and MRU) now.
 	h.lastIBlock, h.lastIValid = block, true
 	// Prefetch the next sequential block into the stream buffer unless it
-	// is already resident; this is an extra b-cache access that overlaps
+	// is already resident; this is an extra fill access that overlaps
 	// execution (the CPU only stalls if it catches up with it).
 	next := addr + uint64(h.m.BlockBytes)
 	if !h.icache.present(next) {
-		latency := h.bAccess(next, uint64(h.m.BCacheHitCycles))
+		latency := h.fillAccess(next, uint64(h.m.BCacheHitCycles))
 		h.streamBlock = block + 1
 		h.streamValid = true
 		h.streamReadyAt = now + stall + latency
@@ -192,15 +266,21 @@ func (h *Hierarchy) Load(now, addr uint64) (stall uint64) {
 	if repl {
 		h.DStats.ReplMisses++
 	}
-	return h.bAccess(addr, uint64(h.m.BCacheHitCycles))
+	return h.fillAccess(addr, uint64(h.m.BCacheHitCycles))
 }
 
-// Store simulates a data write through the write buffer. The d-cache is
-// write-through and allocates on read misses only, so the d-cache contents
-// are updated only if the block is already resident. A write that merges
-// into an active write-buffer entry counts as a hit; an unmerged write
-// counts as a miss and retires through the b-cache (which allocates on
-// either miss type).
+// Store simulates a data write through the write buffer. On the paper's
+// machine the d-cache is write-through and allocates on read misses only,
+// so the d-cache contents are updated only if the block is already
+// resident. A write that merges into an active write-buffer entry counts
+// as a hit; an unmerged write counts as a miss and retires through the
+// b-cache (which allocates on either miss type).
+//
+// On machines with DCacheWriteAllocate set, an unmerged write whose block
+// is absent from the d-cache additionally fills it, and the CPU waits for
+// that fill (a read-for-ownership): the fill stall is fully exposed on top
+// of any write-buffer stall. The fill subsumes the retirement access, so
+// b-cache traffic stays one access per unmerged write on either policy.
 func (h *Hierarchy) Store(now, addr uint64) (stall uint64) {
 	h.DStats.Accesses++
 	block := addr >> uint64(h.dcache.blockShift)
@@ -209,6 +289,13 @@ func (h *Hierarchy) Store(now, addr uint64) (stall uint64) {
 		return wstall
 	}
 	h.DStats.Misses++
+	if h.m.DCacheWriteAllocate {
+		if hit, _ := h.dcache.access(addr); !hit {
+			// Write-allocate fill: fetch the block before the write can
+			// complete. The CPU sees the full fill latency.
+			return wstall + h.fillAccess(addr, uint64(h.m.BCacheHitCycles))
+		}
+	}
 	// The retirement write is a b-cache access; it allocates in the
 	// b-cache but its latency is hidden behind the write buffer, so the
 	// only CPU-visible stall is a full buffer.
@@ -227,10 +314,14 @@ func (h *Hierarchy) Store(now, addr uint64) (stall uint64) {
 // classification history while keeping cache contents warm. Use it at the
 // start of a traced measurement, as the paper does.
 func (h *Hierarchy) BeginEpoch() {
-	h.IStats, h.DStats, h.BStats = Stats{}, Stats{}, Stats{}
+	h.IStats, h.DStats, h.BStats, h.L2Stats = Stats{}, Stats{}, Stats{}, Stats{}
+	h.VictimHits = 0
 	h.icache.beginEpoch()
 	h.dcache.beginEpoch()
 	h.bcache.beginEpoch()
+	if h.l2 != nil {
+		h.l2.beginEpoch()
+	}
 }
 
 // Reset makes every cache cold and zeroes all statistics.
@@ -240,6 +331,12 @@ func (h *Hierarchy) Reset() {
 	h.dcache.reset()
 	h.bcache.reset()
 	h.wbuf.reset()
+	if h.l2 != nil {
+		h.l2.reset()
+	}
+	if h.victim != nil {
+		h.victim.reset()
+	}
 	h.streamValid = false
 	h.lastIValid = false
 }

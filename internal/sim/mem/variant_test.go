@@ -1,0 +1,202 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/machines"
+)
+
+// fullStats is the complete observable statistics state of a hierarchy,
+// including the machine-matrix extensions; comparable for byte-identity
+// assertions.
+type fullStats struct {
+	I, D, B, L2 Stats
+	VictimHits  uint64
+}
+
+// exerciseFull is exercise plus the extended counters.
+func exerciseFull(h *Hierarchy) fullStats {
+	base := exercise(h)
+	return fullStats{I: base[0], D: base[1], B: base[2], L2: h.L2Stats, VictimHits: h.VictimHits}
+}
+
+// conflictMachine shrinks the i-cache so two blocks ping-pong in one set.
+func conflictMachine() arch.Machine {
+	m := arch.DEC3000_600()
+	m.ICacheBytes = 4 * 32 // 4 direct-mapped sets
+	return m
+}
+
+func TestVictimBufferCatchesConflictPingPong(t *testing.T) {
+	m := conflictMachine()
+	m.VictimEntries = 4
+	m.VictimHitCycles = 2
+
+	h := New(m)
+	a := uint64(0x1000)
+	b := a + uint64(m.ICacheBytes) // same set, different tag
+	var now, stalls uint64
+	for i := 0; i < 64; i++ {
+		s := h.FetchInstr(now, a) + h.FetchInstr(now, b)
+		stalls += s
+		now += 2 + s
+	}
+	if h.VictimHits == 0 {
+		t.Fatal("ping-pong between two conflicting blocks never hit the victim buffer")
+	}
+	// After the first two cold fills every miss should be a 2-cycle victim
+	// swap, far below the b-cache hit latency it replaces.
+	plain := New(conflictMachine())
+	now = 0
+	var plainStalls uint64
+	for i := 0; i < 64; i++ {
+		s := plain.FetchInstr(now, a) + plain.FetchInstr(now, b)
+		plainStalls += s
+		now += 2 + s
+	}
+	if stalls >= plainStalls {
+		t.Errorf("victim machine stalled %d cycles, plain machine %d — victim buffer bought nothing", stalls, plainStalls)
+	}
+	if h.IStats.Misses != plain.IStats.Misses {
+		t.Errorf("victim machine counted %d i-misses, plain %d — victim hits must still count as misses",
+			h.IStats.Misses, plain.IStats.Misses)
+	}
+}
+
+func TestVictimBufferCapacityBound(t *testing.T) {
+	m := conflictMachine()
+	m.VictimEntries = 1
+	m.VictimHitCycles = 2
+	h := New(m)
+	// Three-way ping-pong overflows a 1-entry buffer: each miss displaces a
+	// block, and by the time that block is refetched it has been pushed out.
+	a := uint64(0x1000)
+	b := a + uint64(m.ICacheBytes)
+	c := b + uint64(m.ICacheBytes)
+	var now uint64
+	for i := 0; i < 32; i++ {
+		for _, addr := range []uint64{a, b, c} {
+			s := h.FetchInstr(now, addr)
+			now += 1 + s
+		}
+	}
+	if h.VictimHits != 0 {
+		t.Errorf("1-entry victim buffer hit %d times under a 3-block rotation, want 0", h.VictimHits)
+	}
+}
+
+func TestL2AbsorbsRepeatFills(t *testing.T) {
+	m := conflictMachine()
+	m.L2Bytes = 64 * 1024
+	m.L2Assoc = 4
+	m.L2HitCycles = 6
+	h := New(m)
+	a := uint64(0x1000)
+	b := a + uint64(m.ICacheBytes)
+	var now uint64
+	for i := 0; i < 64; i++ {
+		s := h.FetchInstr(now, a) + h.FetchInstr(now, b)
+		now += 2 + s
+	}
+	if h.L2Stats.Accesses == 0 {
+		t.Fatal("i-cache conflict fills never probed the L2")
+	}
+	if h.L2Stats.Misses >= h.L2Stats.Accesses {
+		t.Errorf("L2 never hit (%d misses / %d accesses) despite a 2-block working set", h.L2Stats.Misses, h.L2Stats.Accesses)
+	}
+	// Fills satisfied by the L2 must not reach the b-cache.
+	plain := New(conflictMachine())
+	now = 0
+	for i := 0; i < 64; i++ {
+		s := plain.FetchInstr(now, a) + plain.FetchInstr(now, b)
+		now += 2 + s
+	}
+	if h.BStats.Accesses >= plain.BStats.Accesses {
+		t.Errorf("L2 machine made %d b-cache accesses, plain machine %d — L2 shielded nothing",
+			h.BStats.Accesses, plain.BStats.Accesses)
+	}
+}
+
+func TestWriteAllocateFillsDCache(t *testing.T) {
+	m := arch.DEC3000_600()
+	m.DCacheWriteAllocate = true
+	h := New(m)
+	addr := uint64(0x5000)
+	if h.DCachePresent(addr) {
+		t.Fatal("test address unexpectedly resident in a cold d-cache")
+	}
+	stall := h.Store(0, addr)
+	if !h.DCachePresent(addr) {
+		t.Error("write-allocate store did not fill the d-cache")
+	}
+	if stall < uint64(m.MemoryCycles) {
+		t.Errorf("cold write-allocate store stalled %d cycles, want >= memory latency %d", stall, m.MemoryCycles)
+	}
+
+	// The no-allocate baseline leaves the block absent and hides the
+	// retirement latency behind the write buffer.
+	plain := New(arch.DEC3000_600())
+	pstall := plain.Store(0, addr)
+	if plain.DCachePresent(addr) {
+		t.Error("no-allocate store filled the d-cache")
+	}
+	if pstall != 0 {
+		t.Errorf("no-allocate store with an empty write buffer stalled %d cycles, want 0", pstall)
+	}
+}
+
+// TestPooledMatchesFreshAcrossMatrix extends the pooling determinism
+// invariant to every geometry in the machine matrix: victim buffers, the
+// L2, write-allocate state, and set-associative LRU stacks must all be
+// indistinguishable after a pooled Reset.
+func TestPooledMatchesFreshAcrossMatrix(t *testing.T) {
+	for _, model := range machines.Matrix() {
+		model := model
+		t.Run(model.Name, func(t *testing.T) {
+			want := exerciseFull(New(model.Machine))
+			dirty := NewPooled(model.Machine)
+			exerciseFull(dirty)
+			dirty.Release()
+			h := NewPooled(model.Machine)
+			if got := exerciseFull(h); got != want {
+				t.Fatalf("pooled run diverged from fresh hierarchy:\ngot  %+v\nwant %+v", got, want)
+			}
+			h.Release()
+		})
+	}
+}
+
+// TestVariantSteadyStateAllocFree pins the extended access paths (victim
+// swap, L2 probe, write-allocate fill) at zero steady-state allocations,
+// matching the baseline invariant.
+func TestVariantSteadyStateAllocFree(t *testing.T) {
+	m := arch.DEC3000_600()
+	m.VictimEntries = 8
+	m.VictimHitCycles = 2
+	m.L2Bytes = 256 * 1024
+	m.L2Assoc = 4
+	m.L2HitCycles = 6
+	m.DCacheWriteAllocate = true
+	h := New(m)
+	exercise(h)
+	h.Reset()
+	allocs := testing.AllocsPerRun(10, func() {
+		exercise(h)
+		h.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("variant access path allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestBaselineUnaffectedByExtensions locks in the bit-identity guarantee:
+// a machine with every extension disabled behaves exactly like the code
+// before the extensions existed, i.e. the extended counters stay zero.
+func TestBaselineUnaffectedByExtensions(t *testing.T) {
+	h := New(arch.DEC3000_600())
+	exercise(h)
+	if h.L2Stats != (Stats{}) || h.VictimHits != 0 {
+		t.Errorf("baseline machine touched extension counters: L2=%+v victim=%d", h.L2Stats, h.VictimHits)
+	}
+}

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/machines"
 	"repro/internal/obs"
 	"repro/internal/protocols/recovery"
 	"repro/internal/serve"
@@ -249,6 +250,52 @@ func RunFaultStudyCtx(ctx context.Context, cfg FaultStudyConfig) (string, error)
 	return core.RunFaultStudyCtx(ctx, cfg)
 }
 
+// MachineModel is one named machine configuration of the curated matrix
+// (internal/machines): the paper's DEC 3000/600 plus variants that change
+// one hardware dimension at a time.
+type MachineModel = machines.Model
+
+// MachineMatrix returns the full curated matrix in canonical report order.
+func MachineMatrix() []MachineModel { return machines.Matrix() }
+
+// SelectMachines resolves a -machines style selection: "all" (or "") for
+// the whole matrix, otherwise a comma-separated list of model names.
+func SelectMachines(spec string) ([]MachineModel, error) { return machines.Select(spec) }
+
+// MachineByName returns one model of the matrix by its stable name.
+func MachineByName(name string) (MachineModel, error) { return machines.ByName(name) }
+
+// MachineStudyConfig and MachineCell parameterize and report the
+// machine-matrix study: layout versions × machine models (× optional fault
+// rates), each cell cross-checked against the static layout lint on the
+// model's own cache geometry.
+type (
+	MachineStudyConfig = core.MachineStudyConfig
+	MachineCell        = core.MachineCell
+)
+
+// DefaultMachineStudy returns the standard study shape: the full matrix,
+// all six layout versions, clean links, quick per-cell quality.
+func DefaultMachineStudy(kind StackKind, seed uint64) MachineStudyConfig {
+	return core.DefaultMachineStudy(kind, seed)
+}
+
+// MachineStudy runs every (model, version, rate) cell and returns the raw
+// cells; RenderMachineStudy formats them. Deterministic at any parallelism.
+func MachineStudy(cfg MachineStudyConfig) ([]MachineCell, error) { return core.MachineStudy(cfg) }
+
+// MachineStudyCtx is MachineStudy with cooperative cancellation.
+func MachineStudyCtx(ctx context.Context, cfg MachineStudyConfig) ([]MachineCell, error) {
+	return core.MachineStudyCtx(ctx, cfg)
+}
+
+// RenderMachineStudy renders the machine-matrix study: per machine, every
+// version's latency and cache behaviour, then the per-machine summary of
+// what each technique still buys over STD.
+func RenderMachineStudy(cfg MachineStudyConfig, cells []MachineCell) string {
+	return core.RenderMachineStudy(cfg, cells)
+}
+
 // Observability layer (see internal/obs). Profile is the per-function
 // attribution of one traced path invocation — set Config.Profile (or use
 // RunVersionsProfiled) to collect one per sample. PhaseSplit decomposes a
@@ -291,18 +338,19 @@ func NewManifest(command string, seed uint64, q Quality) Manifest {
 // the *Full table generators run the measurement once and return both
 // renderings; the *Data builders are pure over already-computed results.
 var (
-	Table1Full      = core.Table1Full
-	Table2Full      = core.Table2Full
-	Table3Full      = core.Table3Full
-	Table45Data     = core.Table45Data
-	Table6Data      = core.Table6Data
-	Table7Data      = core.Table7Data
-	Table8Data      = core.Table8Data
-	Table9Data      = core.Table9Data
-	RunDoc          = core.RunDoc
-	RunsDoc         = core.RunsDoc
-	FaultStudyDocOf = core.FaultStudyDocOf
-	SampleDoc       = core.SampleDoc
+	Table1Full        = core.Table1Full
+	Table2Full        = core.Table2Full
+	Table3Full        = core.Table3Full
+	Table45Data       = core.Table45Data
+	Table6Data        = core.Table6Data
+	Table7Data        = core.Table7Data
+	Table8Data        = core.Table8Data
+	Table9Data        = core.Table9Data
+	RunDoc            = core.RunDoc
+	RunsDoc           = core.RunsDoc
+	FaultStudyDocOf   = core.FaultStudyDocOf
+	MachineStudyDocOf = core.MachineStudyDocOf
+	SampleDoc         = core.SampleDoc
 )
 
 // RecoveryKind selects the transport retransmission-timer policy: "fixed"

@@ -4,7 +4,8 @@
 # and diff it, both directions, against the flags documented in that
 # command's section of docs/CLI.md. A flag added to a command without a
 # docs update — or documented but removed from the command — fails the
-# build.
+# build. docs/MACHINES.md is held to the same standard: every model in
+# the machine matrix must have its own section there.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,8 +37,19 @@ for cmd in protolat tracesim layoutview protovet; do
 	fi
 done
 
+# Machine-matrix reference drift: every model the binary knows must have a
+# section in docs/MACHINES.md (headed "## <name>"), so a model added to
+# internal/machines without documentation fails the build.
+MACHDOC=docs/MACHINES.md
+for model in $(go run ./cmd/protolat -machines list | awk '{print $1}'); do
+	if ! grep -qx "## $model" "$MACHDOC"; then
+		echo "doc_check: model \"$model\" is in the matrix but has no \"## $model\" section in $MACHDOC" >&2
+		fail=1
+	fi
+done
+
 if [ "$fail" -ne 0 ]; then
-	echo "doc_check: FAIL — update docs/CLI.md to match the binaries" >&2
+	echo "doc_check: FAIL — update docs/CLI.md / docs/MACHINES.md to match the binaries" >&2
 	exit 1
 fi
-echo "doc_check: docs/CLI.md matches all command flag sets"
+echo "doc_check: docs/CLI.md matches all command flag sets; docs/MACHINES.md covers the matrix"

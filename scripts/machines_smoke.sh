@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Machine-matrix smoke test: run the machine-model study on a small matrix
+# slice and diff the report against the checked-in golden. The study is a
+# deterministic simulation, so the report is exactly reproducible — and it
+# must be byte-identical at any -parallel setting, which this script checks
+# by running the same study serial and 8-wide. Any golden drift means the
+# simulator, a machine model, or the report format changed and the golden
+# (and the claims in EXPERIMENTS.md / docs/MACHINES.md) need a fresh look.
+#
+#   REGEN=1 ./scripts/machines_smoke.sh   # refresh testdata/machines_smoke.golden
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+golden=testdata/machines_smoke.golden
+models=dec3000,l1-4way,modern
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go run ./cmd/protolat -machines "$models" -parallel 1 > "$tmp/serial.txt"
+go run ./cmd/protolat -machines "$models" -parallel 8 > "$tmp/parallel.txt"
+
+diff -u "$tmp/serial.txt" "$tmp/parallel.txt" || {
+    echo "FAIL: machine study is not byte-identical at -parallel 1 vs 8" >&2
+    exit 1
+}
+
+# Structural claims, independent of the golden: the adversarial layout must
+# stay worst on every machine, and the modern core's 32KB i-cache must hold
+# the whole standard path (zero i-cache misses) — the headline crossover
+# EXPERIMENTS.md documents.
+awk '
+    /^[a-z0-9-]+ — / {model = $1}
+    model != "" && /^BAD +[0-9]/ {bad[model] = $3}
+    model != "" && /^STD +[0-9]/ {std[model] = $3; imiss[model] = $5}
+    END {
+        for (m in std) {
+            if (bad[m] + 0 <= std[m] + 0) {
+                print "FAIL: " m ": BAD Tp (" bad[m] ") not worse than STD (" std[m] ")"
+                exit 1
+            }
+        }
+        if (imiss["modern"] + 0 != 0) {
+            print "FAIL: modern: STD takes " imiss["modern"] " i-cache misses; expected 0 (32KB L1 holds the path)"
+            exit 1
+        }
+    }' "$tmp/serial.txt" || exit 1
+
+grep -q "Tp saving over STD" "$tmp/serial.txt" || {
+    echo "FAIL: report is missing the per-machine gains summary" >&2
+    exit 1
+}
+
+if [[ "${REGEN:-0}" = "1" ]]; then
+    mkdir -p testdata
+    cp "$tmp/serial.txt" "$golden"
+    echo "regenerated $golden"
+    exit 0
+fi
+
+diff -u "$golden" "$tmp/serial.txt" || {
+    echo "FAIL: machine-matrix report drifted from $golden (REGEN=1 to accept)" >&2
+    exit 1
+}
+echo "machines smoke OK: parallel-identical, BAD worst everywhere, modern path fits L1, matching golden"
