@@ -34,11 +34,9 @@
 package main
 
 import (
-	"bytes"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"os/exec"
 	"strings"
@@ -78,6 +76,9 @@ func main() {
 		storeDir = flag.String("store", "protolat-store", "store directory for -serve: memoized documents, the journaled job queue, soak checkpoints")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "how long -serve waits for in-flight jobs on SIGTERM before cancelling them (journals survive for restart)")
 		submit   = flag.String("submit", "", "submit a spec file (\"-\" = stdin) to the daemon at -addr and print the resulting document")
+		workers  = flag.Int("workers", 1, "concurrent job executors for -serve; each job gets an equal share of the -parallel pool, output identical at any count")
+		storeMax = flag.Int64("store-max", 0, "store byte cap for -serve: evict least-recently-used memoized documents past this size (0 = uncapped; journaled-but-unserved jobs never evicted)")
+		retries  = flag.Int("retries", 0, "retry -submit this many times on 429/503, honoring the daemon's Retry-After hint with capped exponential backoff (0 = fail fast)")
 	)
 	flag.Parse()
 	repro.SetParallelism(*parallel)
@@ -109,17 +110,25 @@ func main() {
 
 	switch {
 	case *serveM:
+		// PROTOLAT_FSFAULT injects a deterministic storage fault layer
+		// beneath the daemon's store — the black-box seam the fsfault
+		// smoke test uses to starve the real binary's disk writes.
+		fsys, err := repro.StorageFromEnv(os.Getenv("PROTOLAT_FSFAULT"))
+		check(err)
 		srv, err := repro.NewServer(repro.ServeConfig{
-			Addr:         *addr,
-			StoreDir:     *storeDir,
-			DrainTimeout: *drainTO,
-			GitDescribe:  gitDescribe(),
+			Addr:          *addr,
+			StoreDir:      *storeDir,
+			DrainTimeout:  *drainTO,
+			GitDescribe:   gitDescribe(),
+			Workers:       *workers,
+			StoreMaxBytes: *storeMax,
+			FS:            fsys,
 		})
 		check(err)
 		check(srv.ListenAndServe())
 
 	case *submit != "":
-		check(submitSpec(*addr, *submit))
+		check(submitSpec(*addr, *submit, *retries))
 
 	case *soakrun:
 		cfg := repro.DefaultSoak(kind, *seed)
@@ -420,7 +429,9 @@ func runOne(kind repro.StackKind, version string, samples int, classify bool, po
 
 // submitSpec posts a spec file to the daemon at addr and prints the
 // resulting document to stdout; cache/fingerprint metadata goes to stderr.
-func submitSpec(addr, path string) error {
+// retries > 0 retries 429/503 rejections with the daemon's Retry-After hint
+// and capped exponential backoff.
+func submitSpec(addr, path string, retries int) error {
 	var data []byte
 	var err error
 	if path == "-" {
@@ -431,25 +442,12 @@ func submitSpec(addr, path string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post("http://"+addr+"/v1/experiments", "application/json", bytes.NewReader(data))
+	res, err := repro.SubmitSpec(addr, data, repro.SubmitOptions{Retries: retries})
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		hint := ""
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			hint = " (retry after " + ra + "s)"
-		}
-		return fmt.Errorf("daemon returned %s%s: %s", resp.Status, hint, strings.TrimSpace(string(body)))
-	}
-	fmt.Fprintf(os.Stderr, "cache: %s  fingerprint: %s\n",
-		resp.Header.Get("X-Protolat-Cache"), resp.Header.Get("X-Protolat-Fingerprint"))
-	_, err = os.Stdout.Write(body)
+	fmt.Fprintf(os.Stderr, "cache: %s  fingerprint: %s\n", res.Cache, res.Fingerprint)
+	_, err = os.Stdout.Write(res.Body)
 	return err
 }
 

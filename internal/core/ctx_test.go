@@ -126,3 +126,43 @@ func TestForEachIndexedCtxBackground(t *testing.T) {
 		t.Fatalf("ran %d of 10 indices", ran.Load())
 	}
 }
+
+// TestCtxParallelism: a context-carried width caps the global setting but
+// never raises it, and an uncapped context inherits the global.
+func TestCtxParallelism(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(8)
+	bg := context.Background()
+	if got := CtxParallelism(bg); got != 8 {
+		t.Fatalf("uncapped ctx width = %d, want 8", got)
+	}
+	if got := CtxParallelism(WithParallelism(bg, 2)); got != 2 {
+		t.Fatalf("capped ctx width = %d, want 2", got)
+	}
+	if got := CtxParallelism(WithParallelism(bg, 32)); got != 8 {
+		t.Fatalf("ctx cap above global = %d, want 8 (cap never raises)", got)
+	}
+	if got := CtxParallelism(WithParallelism(bg, 0)); got != 8 {
+		t.Fatalf("zero cap = %d, want 8 (removes the cap)", got)
+	}
+}
+
+// TestCtxParallelismIdenticalOutput: partitioned width changes scheduling
+// only — a run under a 1-wide context is byte-identical to the global
+// width.
+func TestCtxParallelismIdenticalOutput(t *testing.T) {
+	cfg := smallCtxConfig()
+	wide, err := RunCtx(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("wide run: %v", err)
+	}
+	narrow, err := RunCtx(WithParallelism(context.Background(), 1), cfg)
+	if err != nil {
+		t.Fatalf("narrow run: %v", err)
+	}
+	wb, _ := json.Marshal(RunDoc(wide))
+	nb, _ := json.Marshal(RunDoc(narrow))
+	if string(wb) != string(nb) {
+		t.Fatal("document differs between context widths")
+	}
+}

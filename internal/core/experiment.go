@@ -270,7 +270,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	res := &Result{Config: cfg}
 	samples := make([]Sample, cfg.Samples)
-	err := forEachIndexedCtx(ctx, cfg.Samples, Parallelism(), func(i int) error {
+	err := forEachIndexedCtx(ctx, cfg.Samples, CtxParallelism(ctx), func(i int) error {
 		s, err := runSample(cfg, i)
 		if err != nil {
 			return fmt.Errorf("core: sample %d: %w", i, err)

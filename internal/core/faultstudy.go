@@ -117,7 +117,7 @@ func FaultStudyCtx(ctx context.Context, cfg FaultStudyConfig) ([]FaultCell, erro
 	}
 	nr := len(cfg.Rates)
 	cells := make([]FaultCell, len(cfg.Versions)*nr)
-	err := forEachIndexedCtx(ctx, len(cells), Parallelism(), func(i int) error {
+	err := forEachIndexedCtx(ctx, len(cells), CtxParallelism(ctx), func(i int) error {
 		cell, err := runFaultCell(ctx, cfg, cfg.Versions[i/nr], cfg.Rates[i%nr], i)
 		if err != nil {
 			return fmt.Errorf("fault study %v rate %.2f: %w", cfg.Versions[i/nr], cfg.Rates[i%nr], err)

@@ -91,7 +91,7 @@ func MachineStudyCtx(ctx context.Context, cfg MachineStudyConfig) ([]MachineCell
 	cfg = cfg.withDefaults()
 	nv, nr := len(cfg.Versions), len(cfg.Rates)
 	cells := make([]MachineCell, len(cfg.Models)*nv*nr)
-	err := forEachIndexedCtx(ctx, len(cells), Parallelism(), func(i int) error {
+	err := forEachIndexedCtx(ctx, len(cells), CtxParallelism(ctx), func(i int) error {
 		model := cfg.Models[i/(nv*nr)]
 		v := cfg.Versions[(i/nr)%nv]
 		rate := cfg.Rates[i%nr]

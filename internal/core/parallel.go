@@ -37,6 +37,34 @@ func Parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// parallelismKey carries a per-context pool-width cap (see WithParallelism).
+type parallelismKey struct{}
+
+// WithParallelism returns a context whose fan-outs are capped at n workers,
+// overriding the process-wide Parallelism for work derived from ctx. The
+// serve daemon uses this to partition the shared sample pool across
+// concurrent jobs: each job's context carries its share, so total goroutines
+// stay bounded while every driver keeps its identical-at-any-width output
+// guarantee. n <= 0 removes the cap.
+func WithParallelism(ctx context.Context, n int) context.Context {
+	if n <= 0 {
+		n = 0
+	}
+	return context.WithValue(ctx, parallelismKey{}, n)
+}
+
+// CtxParallelism reports the worker-pool width for work derived from ctx:
+// the process-wide Parallelism, further capped by any WithParallelism value
+// on the context. Drivers that fan out under a context use this instead of
+// Parallelism so per-job partitioning composes with the global setting.
+func CtxParallelism(ctx context.Context) int {
+	p := Parallelism()
+	if n, ok := ctx.Value(parallelismKey{}).(int); ok && n > 0 && n < p {
+		return n
+	}
+	return p
+}
+
 // ForEachIndexed runs fn(0) .. fn(n-1) on a pool of at most workers
 // goroutines and returns the lowest-index error — the deterministic fan-out
 // primitive every driver in this package uses, exported for external drivers

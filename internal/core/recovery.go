@@ -130,7 +130,7 @@ func RecoveryComparisonCtx(ctx context.Context, kind StackKind, seed uint64, q Q
 	}
 	m := arch.DEC3000_600()
 	cells := make([]RecoveryCell, len(recoveryRates)*len(recoveryPolicies))
-	err := forEachIndexedCtx(ctx, len(cells), Parallelism(), func(i int) error {
+	err := forEachIndexedCtx(ctx, len(cells), CtxParallelism(ctx), func(i int) error {
 		rateIdx, polIdx := i/len(recoveryPolicies), i%len(recoveryPolicies)
 		cell := RecoveryCell{Policy: recoveryPolicies[polIdx], Rate: recoveryRates[rateIdx]}
 

@@ -64,7 +64,7 @@ func RunVersionsProfiledCtx(ctx context.Context, kind StackKind, q Quality) (map
 func runVersions(ctx context.Context, kind StackKind, q Quality, profile bool) (map[Version]*Result, error) {
 	vs := Versions()
 	results := make([]*Result, len(vs))
-	err := forEachIndexedCtx(ctx, len(vs), Parallelism(), func(i int) error {
+	err := forEachIndexedCtx(ctx, len(vs), CtxParallelism(ctx), func(i int) error {
 		cfg := q.Apply(DefaultConfig(kind, vs[i]))
 		cfg.Profile = profile
 		res, err := RunCtx(ctx, cfg)

@@ -313,11 +313,26 @@ type ServeStatsDoc struct {
 	// store write failed (computed but not memoized).
 	Recovered        int `json:"recovered"`
 	DegradedPersists int `json:"degraded_persists"`
+	// HungJobs counts jobs the per-job watchdog abandoned after they
+	// ignored cancellation (served as 504, journal kept for replay).
+	HungJobs int `json:"hung_jobs,omitempty"`
+	// Evicted and EvictedBytes count memoized documents removed (and the
+	// bytes they freed) by the LRU store-size cap since the daemon
+	// started.
+	Evicted      int64 `json:"evicted,omitempty"`
+	EvictedBytes int64 `json:"evicted_bytes,omitempty"`
 	// Queue snapshot at document-assembly time.
 	QueueDepth int  `json:"queue_depth"`
 	QueueCap   int  `json:"queue_cap"`
 	InFlight   int  `json:"in_flight"`
 	Draining   bool `json:"draining"`
+	// Workers is the configured concurrent job-executor count.
+	Workers int `json:"workers,omitempty"`
+	// StoreBytes is the resident memoized-document footprint at
+	// document-assembly time; StoreMaxBytes the configured cap (0 =
+	// uncapped).
+	StoreBytes    int64 `json:"store_bytes,omitempty"`
+	StoreMaxBytes int64 `json:"store_max_bytes,omitempty"`
 }
 
 // LintSetDoc is one cache set the static layout lint predicts will thrash

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// SubmitOptions shapes a client-side submission. The zero value submits
+// once with no retries — exactly the pre-retry CLI behavior.
+type SubmitOptions struct {
+	// Retries is how many times a 429/503 rejection is retried after
+	// honoring the server's backoff hint (0 = fail on the first
+	// rejection).
+	Retries int
+	// Sleep is the delay function (nil = time.Sleep); tests inject a
+	// recorder here to assert the backoff schedule without waiting it.
+	Sleep func(time.Duration)
+	// Client is the HTTP client to use (nil = http.DefaultClient).
+	Client *http.Client
+}
+
+// SubmitResult is a successful submission's payload and identity headers.
+type SubmitResult struct {
+	// Body is the experiment document.
+	Body []byte
+	// Fingerprint and Cache echo the X-Protolat-Fingerprint and
+	// X-Protolat-Cache response headers.
+	Fingerprint string
+	Cache       string
+}
+
+// defaultRetryMS is the backoff base when a retryable rejection carries no
+// usable hint.
+const defaultRetryMS = 250
+
+// maxRetryMS caps any single backoff delay.
+const maxRetryMS = 30000
+
+// retryDelayMS computes the deterministic capped exponential backoff for
+// a retry attempt (0-based): the server's hint doubled per attempt, capped
+// at maxRetryMS. The hint already carries the server's fingerprint-derived
+// jitter, so two clients with different specs stay spread out without any
+// client-side randomness.
+func retryDelayMS(hintMS, attempt int) int {
+	if hintMS <= 0 {
+		hintMS = defaultRetryMS
+	}
+	if attempt > 10 {
+		attempt = 10
+	}
+	ms := hintMS << uint(attempt)
+	if ms > maxRetryMS || ms <= 0 {
+		ms = maxRetryMS
+	}
+	return ms
+}
+
+// retryHintMS extracts the server's backoff hint from a rejection: the
+// retry_after_ms field of the JSON error body when present, else the
+// Retry-After header (whole seconds), else 0.
+func retryHintMS(resp *http.Response, body []byte) int {
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err == nil && eb.RetryAfterMS > 0 {
+		return eb.RetryAfterMS
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if sec, err := strconv.Atoi(s); err == nil && sec > 0 {
+			return sec * 1000
+		}
+	}
+	return 0
+}
+
+// Submit posts a spec to a daemon's /v1/experiments endpoint and returns
+// the document. Retryable rejections — 429 backpressure and 503 drain —
+// are retried up to opts.Retries times, honoring the server's Retry-After
+// hint with capped deterministic exponential backoff; every other non-200
+// status fails immediately with the server's error text.
+func Submit(addr string, spec []byte, opts SubmitOptions) (*SubmitResult, error) {
+	sleep := opts.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	client := opts.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := "http://" + addr + "/v1/experiments"
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(spec))
+		if err != nil {
+			return nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusOK {
+			return &SubmitResult{
+				Body:        body,
+				Fingerprint: resp.Header.Get("X-Protolat-Fingerprint"),
+				Cache:       resp.Header.Get("X-Protolat-Cache"),
+			}, nil
+		}
+		retryable := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if !retryable || attempt >= opts.Retries {
+			msg := fmt.Sprintf("daemon returned %s: %s", resp.Status, bytes.TrimSpace(body))
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				msg += fmt.Sprintf(" (Retry-After: %ss)", ra)
+			}
+			if retryable && opts.Retries > 0 {
+				msg += fmt.Sprintf(" after %d retries", opts.Retries)
+			}
+			return nil, fmt.Errorf("%s", msg)
+		}
+		sleep(time.Duration(retryDelayMS(retryHintMS(resp, body), attempt)) * time.Millisecond)
+	}
+}

@@ -3,7 +3,6 @@ package serve
 import (
 	"context"
 	"fmt"
-	"os"
 
 	"repro/internal/core"
 	"repro/internal/machines"
@@ -130,8 +129,9 @@ func (s *Server) buildDocument(ctx context.Context, spec Spec, fp string) (*obs.
 		}
 		cfg.EventBudget = s.cfg.EventBudget
 		cfg.CheckpointPath = s.store.JournalPath(fp)
+		cfg.FS = s.store.fs
 		run := soak.RunCtx
-		if _, err := os.Stat(cfg.CheckpointPath); err == nil {
+		if _, err := s.store.fs.Stat(cfg.CheckpointPath); err == nil {
 			// A checkpoint from an interrupted earlier attempt: resume
 			// it instead of recomputing finished chunks. A tampered or
 			// mismatched journal surfaces as a typed *soak.JournalError.

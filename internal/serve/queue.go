@@ -50,8 +50,13 @@ func newQueue(capacity int) *queue {
 
 // submit admits a spec, returning the job to wait on and whether the
 // caller coalesced onto an existing one. A closed (draining) queue
-// returns errDraining, a full one errQueueFull.
-func (q *queue) submit(spec Spec, fp string) (j *job, coalesced bool, err error) {
+// returns errDraining, a full one errQueueFull. journal, when non-nil,
+// runs for a freshly admitted job after the capacity check but before
+// the job becomes visible to any worker — the window in which the job's
+// journal entry must land, because a fast worker could otherwise run
+// the job to completion (dropping a journal that does not exist yet)
+// and strand the late-written entry as an orphan.
+func (q *queue) submit(spec Spec, fp string, journal func(*job)) (j *job, coalesced bool, err error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if existing, ok := q.byFP[fp]; ok {
@@ -60,14 +65,18 @@ func (q *queue) submit(spec Spec, fp string) (j *job, coalesced bool, err error)
 	if q.closed {
 		return nil, false, errDraining
 	}
-	j = &job{spec: spec, fp: fp, done: make(chan struct{})}
-	select {
-	case q.ch <- j:
-		q.byFP[fp] = j
-		return j, false, nil
-	default:
+	if len(q.ch) == cap(q.ch) {
 		return nil, false, errQueueFull
 	}
+	j = &job{spec: spec, fp: fp, done: make(chan struct{})}
+	if journal != nil {
+		journal(j)
+	}
+	q.byFP[fp] = j
+	// Cannot block: every sender holds q.mu, and len < cap was checked
+	// under the same lock (receivers only shrink the channel).
+	q.ch <- j
+	return j, false, nil
 }
 
 // enqueueRecovered re-admits a crash-recovered job during startup, before

@@ -430,9 +430,15 @@ func TestCrashRecoverySoakResume(t *testing.T) {
 	}
 
 	s, ts := newTestServer(t, Config{StoreDir: dir, GitDescribe: gd})
+	// The document lands first and the checkpoint is dropped a beat later;
+	// wait for both so the Stat below cannot race the worker's cleanup.
 	waitFor(t, "recovered soak to complete", func() bool {
 		doc, err := s.store.Get(fp)
-		return err == nil && doc != nil
+		if err != nil || doc == nil {
+			return false
+		}
+		_, serr := os.Stat(store.JournalPath(fp))
+		return os.IsNotExist(serr)
 	})
 	resp, body := post(t, ts, soakTestSpec)
 	if resp.StatusCode != http.StatusOK {
@@ -599,6 +605,27 @@ func TestStatsDocument(t *testing.T) {
 	}
 	if doc.Manifest.Schema != obs.SchemaVersion || doc.Manifest.Command != "protolat -serve" {
 		t.Fatalf("stats manifest = %+v", doc.Manifest)
+	}
+}
+
+// TestNoOrphanJobJournal: the job journal is written inside admission's
+// critical section, before any worker can see the job — so by the time a
+// computed 200 is on the wire the journal has been written and dropped,
+// and no <fp>.job.json lingers. The old order (enqueue, then journal) let
+// a fast job finish before its journal landed, stranding an orphan that
+// made store globs lie about pending work.
+func TestNoOrphanJobJournal(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	for i := 0; i < 3; i++ {
+		resp, body := post(t, ts, lintSpec)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %d: %s: %s", i, resp.Status, body)
+		}
+		fp := resp.Header.Get("X-Protolat-Fingerprint")
+		if _, err := s.store.fs.Stat(s.store.jobPath(fp)); !os.IsNotExist(err) {
+			t.Fatalf("submit %d (cache %s): job journal survived its 200 response (err %v)",
+				i, resp.Header.Get("X-Protolat-Cache"), err)
+		}
 	}
 }
 

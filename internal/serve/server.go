@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/soak"
+	"repro/internal/storage"
 )
 
 // Config shapes a daemon.
@@ -46,11 +47,32 @@ type Config struct {
 	// GitDescribe identifies the checkout; it salts every fingerprint so
 	// a rebuilt daemon never serves a stale memoized document.
 	GitDescribe string
+	// Workers is the number of concurrent job executors (default 1).
+	// Each worker's jobs run with a partitioned share of the global
+	// sample pool (core.WithParallelism), so total goroutines stay
+	// bounded and output stays byte-identical at any worker count.
+	Workers int
+	// StoreMaxBytes, when positive, caps the resident memoized-document
+	// bytes; the store evicts least-recently-used documents to stay
+	// under it (journaled-but-unserved jobs are never evicted).
+	StoreMaxBytes int64
+	// JobWatchdog, when positive, bounds how long a job may run before
+	// the daemon cancels it; a job that ignores cancellation for another
+	// JobWatchdog period is abandoned and reported as hung (504,
+	// reason "watchdog"), its journal entry kept for restart replay.
+	JobWatchdog time.Duration
+	// FS is the filesystem every durable write goes through; nil means
+	// the real disk. Tests and the PROTOLAT_FSFAULT env knob inject a
+	// storage fault layer here.
+	FS storage.FS
 }
 
-// Server is the experiment daemon: one admission queue, one store, one
-// worker goroutine executing jobs sequentially (each job parallelizes
-// internally over the shared worker pool).
+// Server is the experiment daemon: one admission queue, one store, and
+// cfg.Workers goroutines executing jobs concurrently. Each job
+// parallelizes internally over a partitioned share of the shared sample
+// pool, so concurrent jobs split the machine instead of oversubscribing
+// it — and because every driver's output is identical at any pool width,
+// daemon output is byte-identical at any worker count.
 type Server struct {
 	cfg      Config
 	store    *Store
@@ -83,7 +105,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 30 * time.Second
 	}
-	store, err := OpenStore(cfg.StoreDir)
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	store, err := OpenStoreFS(cfg.FS, cfg.StoreDir, cfg.StoreMaxBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -104,8 +129,10 @@ func New(cfg Config) (*Server, error) {
 		st.Accepted += len(pending)
 		st.Recovered += len(pending)
 	})
-	s.workerWG.Add(1)
-	go s.worker()
+	s.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
 	return s, nil
 }
 
@@ -125,10 +152,17 @@ func (s *Server) Stats() obs.ServeStatsDoc {
 	st.QueueCap = s.cfg.QueueCap
 	st.InFlight = int(s.inFlight.Load())
 	st.Draining = s.draining.Load()
+	st.Workers = s.cfg.Workers
+	resident, capBytes, evicted, freed := s.store.Bytes()
+	st.StoreBytes = resident
+	st.StoreMaxBytes = capBytes
+	st.Evicted = evicted
+	st.EvictedBytes = freed
 	return st
 }
 
-// worker executes admitted jobs one at a time until the queue closes.
+// worker executes admitted jobs until the queue closes; cfg.Workers of
+// these run concurrently, each pulling from the shared queue.
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for j := range s.q.ch {
@@ -151,11 +185,18 @@ func (s *Server) runJob(j *job) {
 		s.store.DropJob(j.fp)
 		return
 	}
-	if hook := s.beforeRun; hook != nil {
-		hook(j)
-	}
-
+	// Partition the shared sample pool across workers: each job's fan-outs
+	// are capped at an equal share, so W concurrent jobs use the same total
+	// width one job would. Output is unaffected — every driver is
+	// byte-identical at any width.
 	ctx := s.baseCtx
+	if s.cfg.Workers > 1 {
+		share := core.Parallelism() / s.cfg.Workers
+		if share < 1 {
+			share = 1
+		}
+		ctx = core.WithParallelism(ctx, share)
+	}
 	cancel := func() {}
 	timeout := s.cfg.JobTimeout
 	if j.spec.TimeoutMS > 0 {
@@ -164,7 +205,7 @@ func (s *Server) runJob(j *job) {
 	if timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 	}
-	doc, err := s.buildDocument(ctx, j.spec, j.fp)
+	doc, err := s.buildWatched(ctx, cancel, j)
 	cancel()
 	if err == nil {
 		j.doc, err = doc.Marshal()
@@ -189,12 +230,76 @@ func (s *Server) runJob(j *job) {
 	s.addStats(func(st *obs.ServeStatsDoc) { st.Completed++ })
 }
 
+// WatchdogError reports a job the per-job watchdog gave up on: it exceeded
+// the watchdog period, was cancelled, and then ignored cancellation for a
+// full grace period. The job's journal entry is kept so a restart replays
+// it from scratch.
+type WatchdogError struct {
+	Fingerprint string
+	After       time.Duration
+}
+
+// Error renders the hung-job failure.
+func (e *WatchdogError) Error() string {
+	return fmt.Sprintf("serve: job %s hung: exceeded the %v watchdog and ignored cancellation", e.Fingerprint, e.After)
+}
+
+// buildWatched runs the test hook and buildDocument for a job. With no
+// watchdog configured it runs them inline. With cfg.JobWatchdog set it runs
+// them in a child goroutine: if the job outlives the watchdog its context
+// is cancelled, and if it then ignores cancellation for a full grace period
+// (another watchdog interval) the goroutine is abandoned and the job
+// reported hung with a typed WatchdogError. An abandoned build can never
+// corrupt the store — only runJob persists documents, and it has already
+// walked away.
+func (s *Server) buildWatched(ctx context.Context, cancel context.CancelFunc, j *job) (*obs.Document, error) {
+	wd := s.cfg.JobWatchdog
+	if wd <= 0 {
+		if hook := s.beforeRun; hook != nil {
+			hook(j)
+		}
+		return s.buildDocument(ctx, j.spec, j.fp)
+	}
+	type buildRes struct {
+		doc *obs.Document
+		err error
+	}
+	ch := make(chan buildRes, 1)
+	go func() {
+		if hook := s.beforeRun; hook != nil {
+			hook(j)
+		}
+		doc, err := s.buildDocument(ctx, j.spec, j.fp)
+		ch <- buildRes{doc, err}
+	}()
+	timer := time.NewTimer(wd)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.doc, r.err
+	case <-timer.C:
+		cancel()
+	}
+	grace := time.NewTimer(wd)
+	defer grace.Stop()
+	select {
+	case r := <-ch:
+		// The job honored cancellation inside the grace period; its own
+		// (likely context.Canceled) error classifies normally.
+		return r.doc, r.err
+	case <-grace.C:
+		s.addStats(func(st *obs.ServeStatsDoc) { st.HungJobs++ })
+		return nil, &WatchdogError{Fingerprint: j.fp, After: wd}
+	}
+}
+
 // classify maps a job failure to its HTTP status and machine-readable
 // reason — the daemon's degradation ladder.
 func classify(err error) (int, string) {
 	var se *SpecError
 	var be *core.BudgetError
 	var je *soak.JournalError
+	var we *WatchdogError
 	switch {
 	case errors.As(err, &se):
 		return http.StatusBadRequest, "spec"
@@ -202,6 +307,8 @@ func classify(err error) (int, string) {
 		return http.StatusUnprocessableEntity, "budget"
 	case errors.As(err, &je):
 		return http.StatusInternalServerError, "journal-" + je.Reason
+	case errors.As(err, &we):
+		return http.StatusGatewayTimeout, "watchdog"
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "deadline"
 	case errors.Is(err, context.Canceled):
@@ -318,7 +425,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	j, coalesced, err := s.q.submit(spec, fp)
+	// The journal entry is written inside the queue's admission critical
+	// section, before any worker can see the job: a fast job could
+	// otherwise finish (and drop a journal not yet written) before the
+	// entry landed, stranding an orphan <fp>.job.json in the store.
+	degradedAdmit := false
+	j, coalesced, err := s.q.submit(spec, fp, func(*job) {
+		if err := s.store.PutJob(fp, spec); err != nil {
+			// Degradation: an unjournaled job still runs; it just will
+			// not survive a crash. Flag it so the client knows.
+			degradedAdmit = true
+		}
+	})
 	switch {
 	case errors.Is(err, errDraining):
 		s.addStats(func(st *obs.ServeStatsDoc) { st.RejectedDraining++ })
@@ -337,15 +455,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	degradedAdmit := false
 	if coalesced {
 		s.addStats(func(st *obs.ServeStatsDoc) { st.Coalesced++ })
 	} else {
 		s.addStats(func(st *obs.ServeStatsDoc) { st.Accepted++; st.StoreMisses++ })
-		if err := s.store.PutJob(fp, spec); err != nil {
-			// Degradation: an unjournaled job still runs; it just will
-			// not survive a crash. Flag it so the client knows.
-			degradedAdmit = true
+		if degradedAdmit {
 			s.addStats(func(st *obs.ServeStatsDoc) { st.DegradedPersists++ })
 		}
 	}

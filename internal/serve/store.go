@@ -8,8 +8,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/soak"
+	"repro/internal/storage"
 )
 
 // Store file formats, all carried by the soak journal envelope
@@ -29,8 +31,27 @@ const (
 // file is written atomically under the soak journal envelope, so a kill
 // -9 at any instant leaves the store replayable: Recover drops torn temp
 // files and returns the jobs that were admitted but never finished.
+//
+// When maxBytes is positive the store evicts least-recently-used documents
+// to stay under the cap. Eviction is itself crash-safe: each eviction is a
+// single atomic Remove, and a fingerprint with a journaled-but-unserved job
+// is never evicted (its document is the job's pending answer). All file
+// operations go through the injected storage.FS so the fault layer can
+// enumerate crash points through the store paths too.
 type Store struct {
-	dir string
+	dir      string
+	fs       storage.FS
+	maxBytes int64
+
+	mu sync.Mutex
+	// lru orders resident document fingerprints from least to most
+	// recently used; sizes maps fingerprint to stored byte size. Both
+	// cover only .doc.json files — jobs and journals are transient and
+	// never evicted.
+	lru     []string
+	sizes   map[string]int64
+	evicted int64 // documents evicted since open
+	freed   int64 // bytes freed by eviction since open
 }
 
 // RecoveredJob is one admitted-but-unfinished job replayed from the
@@ -40,12 +61,39 @@ type RecoveredJob struct {
 	Spec        Spec
 }
 
-// OpenStore opens (creating if needed) a store rooted at dir.
+// OpenStore opens (creating if needed) a store rooted at dir on the real
+// filesystem with no size cap.
 func OpenStore(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenStoreFS(nil, dir, 0)
+}
+
+// OpenStoreFS opens (creating if needed) a store rooted at dir, performing
+// every file operation through fsys (nil means the real disk). maxBytes > 0
+// caps the resident document bytes; the store evicts least-recently-used
+// documents to stay under it. The initial recency order is the directory's
+// lexicographic fingerprint order — deterministic across restarts, refined
+// by use as documents are read and written.
+func OpenStoreFS(fsys storage.FS, dir string, maxBytes int64) (*Store, error) {
+	fsys = storage.Default(fsys)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir, fs: fsys, maxBytes: maxBytes, sizes: map[string]int64{}}
+	docs, err := fsys.Glob(filepath.Join(dir, "*.doc.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(docs)
+	for _, p := range docs {
+		fi, err := fsys.Stat(p)
+		if err != nil {
+			continue
+		}
+		fp := strings.TrimSuffix(filepath.Base(p), ".doc.json")
+		s.lru = append(s.lru, fp)
+		s.sizes[fp] = fi.Size()
+	}
+	return s, nil
 }
 
 // Dir reports the store's root directory.
@@ -59,14 +107,101 @@ func (s *Store) jobPath(fp string) string { return filepath.Join(s.dir, fp+".job
 // directory.
 func (s *Store) JournalPath(fp string) string { return filepath.Join(s.dir, fp+".soak.journal") }
 
+// touch moves fp to the most-recently-used end of the LRU order, adding it
+// if absent, and records its size.
+func (s *Store) touch(fp string, size int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, f := range s.lru {
+		if f == fp {
+			s.lru = append(s.lru[:i], s.lru[i+1:]...)
+			break
+		}
+	}
+	s.lru = append(s.lru, fp)
+	s.sizes[fp] = size
+}
+
+// forget removes fp from the LRU index.
+func (s *Store) forget(fp string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, f := range s.lru {
+		if f == fp {
+			s.lru = append(s.lru[:i], s.lru[i+1:]...)
+			break
+		}
+	}
+	delete(s.sizes, fp)
+}
+
+// Bytes reports the resident document bytes, the configured cap (0 =
+// uncapped), and the eviction counters since open.
+func (s *Store) Bytes() (resident, capBytes, evicted, freed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, n := range s.sizes {
+		resident += n
+	}
+	return resident, s.maxBytes, s.evicted, s.freed
+}
+
+// evict removes least-recently-used documents until resident bytes fit
+// under the cap. keep is the fingerprint just written — never evicted, even
+// if it alone exceeds the cap (a stored result must survive its own Put).
+// Fingerprints with a journaled pending job are skipped too: their document
+// is the answer an admitted client is still waiting to fetch. Each eviction
+// is one atomic Remove, so a crash mid-evict leaves every remaining
+// document intact and byte-identical — the enumeration test asserts this.
+func (s *Store) evict(keep string) error {
+	if s.maxBytes <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	total := int64(0)
+	for _, n := range s.sizes {
+		total += n
+	}
+	type victim struct {
+		fp   string
+		size int64
+	}
+	var victims []victim
+	for _, fp := range s.lru {
+		if total <= s.maxBytes {
+			break
+		}
+		if fp == keep {
+			continue
+		}
+		if _, err := s.fs.Stat(s.jobPath(fp)); err == nil {
+			continue // journaled-but-unserved: never evict
+		}
+		victims = append(victims, victim{fp, s.sizes[fp]})
+		total -= s.sizes[fp]
+	}
+	s.mu.Unlock()
+	for _, v := range victims {
+		if err := s.fs.Remove(s.docPath(v.fp)); err != nil && !os.IsNotExist(err) {
+			return &soak.JournalError{Path: s.docPath(v.fp), Reason: "io", Err: err}
+		}
+		s.forget(v.fp)
+		s.mu.Lock()
+		s.evicted++
+		s.freed += v.size
+		s.mu.Unlock()
+	}
+	return nil
+}
+
 // Get returns the memoized document for a fingerprint: (nil, nil) on a
 // miss, the exact bytes Put stored on a hit, and a *soak.JournalError for
 // a tampered or torn entry. The document is stored compacted inside the
 // envelope and re-indented here; because the library's Document.Marshal
 // output is deterministic indented JSON, the round trip is byte-exact (a
-// tested invariant).
+// tested invariant). A hit refreshes the entry's LRU recency.
 func (s *Store) Get(fp string) ([]byte, error) {
-	raw, err := soak.LoadEnvelope(s.docPath(fp), docMagic, storeSchema, 0, fp)
+	raw, err := soak.LoadEnvelopeFS(s.fs, s.docPath(fp), docMagic, storeSchema, 0, fp)
 	if err != nil {
 		var je *soak.JournalError
 		if errors.As(err, &je) && je.Reason == "missing" {
@@ -79,22 +214,34 @@ func (s *Store) Get(fp string) ([]byte, error) {
 		return nil, &soak.JournalError{Path: s.docPath(fp), Reason: "corrupt", Err: err}
 	}
 	buf.WriteByte('\n')
+	if fi, err := s.fs.Stat(s.docPath(fp)); err == nil {
+		s.touch(fp, fi.Size())
+	}
 	return buf.Bytes(), nil
 }
 
-// Put memoizes a completed document under its fingerprint.
+// Put memoizes a completed document under its fingerprint, then evicts
+// least-recently-used documents if the store exceeds its byte cap.
 func (s *Store) Put(fp string, doc []byte) error {
-	return soak.SaveEnvelope(s.docPath(fp), docMagic, storeSchema, 0, fp, json.RawMessage(doc))
+	if err := soak.SaveEnvelopeFS(s.fs, s.docPath(fp), docMagic, storeSchema, 0, fp, json.RawMessage(doc)); err != nil {
+		return err
+	}
+	size := int64(0)
+	if fi, err := s.fs.Stat(s.docPath(fp)); err == nil {
+		size = fi.Size()
+	}
+	s.touch(fp, size)
+	return s.evict(fp)
 }
 
 // PutJob journals an admitted job so a crashed daemon can replay it.
 func (s *Store) PutJob(fp string, spec Spec) error {
-	return soak.SaveEnvelope(s.jobPath(fp), jobMagic, storeSchema, 0, fp, spec)
+	return soak.SaveEnvelopeFS(s.fs, s.jobPath(fp), jobMagic, storeSchema, 0, fp, spec)
 }
 
 // DropJob removes a finished job's journal entry (missing is fine).
 func (s *Store) DropJob(fp string) {
-	if err := os.Remove(s.jobPath(fp)); err != nil && !os.IsNotExist(err) {
+	if err := s.fs.Remove(s.jobPath(fp)); err != nil && !os.IsNotExist(err) {
 		// Best-effort: a stale job file is re-dropped on the next
 		// recovery pass when its document is found present.
 		_ = err
@@ -103,42 +250,47 @@ func (s *Store) DropJob(fp string) {
 
 // DropJournal removes a finished soak job's checkpoint (missing is fine).
 func (s *Store) DropJournal(fp string) {
-	if err := os.Remove(s.JournalPath(fp)); err != nil && !os.IsNotExist(err) {
+	if err := s.fs.Remove(s.JournalPath(fp)); err != nil && !os.IsNotExist(err) {
 		_ = err
 	}
 }
 
 // Recover replays the store after a restart: torn temp files are removed,
 // job entries whose document already exists are dropped (the crash hit
-// between persist and cleanup), unreadable job entries are discarded, and
-// the remaining admitted-but-unfinished jobs are returned in fingerprint
-// order for re-execution.
+// between persist and cleanup), unreadable or empty job entries are
+// discarded, entries whose spec no longer validates under this binary's
+// schema are dropped (schema drift is a clean sweep, not a panic), orphan
+// soak checkpoints with no surviving job are swept, and the remaining
+// admitted-but-unfinished jobs are returned in fingerprint order for
+// re-execution.
 func (s *Store) Recover() ([]RecoveredJob, error) {
-	tmps, err := filepath.Glob(filepath.Join(s.dir, "*.tmp"))
+	tmps, err := s.fs.Glob(filepath.Join(s.dir, "*.tmp"))
 	if err != nil {
 		return nil, err
 	}
 	for _, p := range tmps {
-		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+		if err := s.fs.Remove(p); err != nil && !os.IsNotExist(err) {
 			return nil, err
 		}
 	}
-	jobs, err := filepath.Glob(filepath.Join(s.dir, "*.job.json"))
+	jobs, err := s.fs.Glob(filepath.Join(s.dir, "*.job.json"))
 	if err != nil {
 		return nil, err
 	}
+	pending := map[string]bool{}
 	var out []RecoveredJob
 	for _, p := range jobs {
 		fp := strings.TrimSuffix(filepath.Base(p), ".job.json")
-		if _, err := os.Stat(s.docPath(fp)); err == nil {
+		if _, err := s.fs.Stat(s.docPath(fp)); err == nil {
 			s.DropJob(fp)
 			continue
 		}
-		raw, err := soak.LoadEnvelope(p, jobMagic, storeSchema, 0, fp)
+		raw, err := soak.LoadEnvelopeFS(s.fs, p, jobMagic, storeSchema, 0, fp)
 		if err != nil {
-			// A torn or tampered job entry cannot be replayed; drop it
-			// rather than wedge startup. The client that submitted it
-			// will resubmit and be treated as a fresh request.
+			// A torn, empty, or tampered job entry cannot be replayed;
+			// drop it rather than wedge startup. The client that
+			// submitted it will resubmit and be treated as a fresh
+			// request.
 			s.DropJob(fp)
 			continue
 		}
@@ -147,7 +299,34 @@ func (s *Store) Recover() ([]RecoveredJob, error) {
 			s.DropJob(fp)
 			continue
 		}
+		if err := spec.Normalized().Validate(); err != nil {
+			// Schema drift: the journaled spec no longer canonicalizes
+			// under this binary. Sweep it (and any checkpoint it left)
+			// instead of replaying a job we cannot honor.
+			s.DropJob(fp)
+			s.DropJournal(fp)
+			continue
+		}
+		pending[fp] = true
 		out = append(out, RecoveredJob{Fingerprint: fp, Spec: spec})
+	}
+	// Sweep soak checkpoints whose document already exists: the job
+	// completed and the crash hit between dropping the job entry and
+	// dropping the journal. A journal with neither job nor document is
+	// kept — it may be an externally primed resume point, and a later
+	// submit will resume (or reject, typed) from it.
+	journals, err := s.fs.Glob(filepath.Join(s.dir, "*.soak.journal"))
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range journals {
+		fp := strings.TrimSuffix(filepath.Base(p), ".soak.journal")
+		if pending[fp] {
+			continue
+		}
+		if _, err := s.fs.Stat(s.docPath(fp)); err == nil {
+			s.DropJournal(fp)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
 	return out, nil

@@ -1,0 +1,173 @@
+package soak
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// fsTestConfig is the smallest soak that still checkpoints more than once:
+// two regimes, one policy, one version, 4 units in chunks of 2 — every
+// journal write is a crash window worth enumerating without making the
+// replay loop slow.
+func fsTestConfig() Config {
+	cfg := DefaultConfig(core.StackTCPIP, 7)
+	cfg.Regimes = DefaultRegimes()[:2]
+	cfg.Policies = cfg.Policies[:1]
+	cfg.Versions = []core.Version{core.STD}
+	cfg.Warmup = 1
+	cfg.BatchRoundtrips = 2
+	cfg.BatchesPerCell = 2
+	cfg.CheckpointEvery = 2
+	cfg.CheckpointPath = "ckpt/soak.journal"
+	return cfg
+}
+
+// TestSaveEnvelopeFaults: every injected storage fault surfaces as a typed
+// *JournalError with the right reason — ENOSPC gets its own class, other
+// write failures map to "io" — and none of them corrupt an existing
+// journal.
+func TestSaveEnvelopeFaults(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		plan   storage.Plan
+		reason string
+	}{
+		{"enospc", storage.Plan{Seed: 1, ENOSPCGlob: "*.journal.tmp"}, "enospc"},
+		{"short write", storage.Plan{Seed: 1, ShortWriteAtOp: 1}, "io"},
+		{"torn rename", storage.Plan{Seed: 1, RenameFailAtOp: 3}, "io"},
+		{"sync failure", storage.Plan{Seed: 1, SyncFailGlob: "*.tmp"}, "io"},
+	} {
+		mem := storage.NewMemFS()
+		// Seed a good journal first, through a clean FS.
+		if err := SaveEnvelopeFS(mem, "x.journal", "m", 1, 9, "fp", map[string]int{"a": 1}); err != nil {
+			t.Fatalf("%s: seed save: %v", tc.name, err)
+		}
+		good, err := mem.ReadFile("x.journal")
+		if err != nil {
+			t.Fatalf("%s: read seed: %v", tc.name, err)
+		}
+		fault := storage.NewFault(mem, tc.plan)
+		err = SaveEnvelopeFS(fault, "x.journal", "m", 1, 9, "fp", map[string]int{"a": 2})
+		var je *JournalError
+		if !errors.As(err, &je) {
+			t.Fatalf("%s: error %v is not a *JournalError", tc.name, err)
+		}
+		if je.Reason != tc.reason {
+			t.Fatalf("%s: reason %q, want %q", tc.name, je.Reason, tc.reason)
+		}
+		after, rerr := mem.ReadFile("x.journal")
+		if rerr != nil || string(after) != string(good) {
+			t.Fatalf("%s: failed save corrupted the journal (err %v)", tc.name, rerr)
+		}
+	}
+}
+
+// TestCheckpointCrashEnumeration is the tentpole claim for the soak path:
+// crash the journal write after every single FS operation it performs, and
+// from each crashed filesystem a restart (resume when the journal survived,
+// fresh run when it did not) must produce a document byte-identical to an
+// uninterrupted run's. A torn or blended journal — readable but wrong —
+// would surface here as either a non-typed error or a divergent document.
+func TestCheckpointCrashEnumeration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-point enumeration is the slow exhaustive path")
+	}
+	cfg := fsTestConfig()
+
+	// Reference: an uninterrupted run on a clean in-memory FS.
+	ref := cfg
+	refFS := storage.NewMemFS()
+	ref.FS = refFS
+	refRes, err := Run(ref)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	refDoc := docBytes(t, refRes)
+	refJournal, err := refFS.ReadFile(cfg.CheckpointPath)
+	if err != nil {
+		t.Fatalf("reference journal: %v", err)
+	}
+
+	workload := func(fsys storage.FS) error {
+		c := cfg
+		c.FS = fsys
+		_, err := Run(c)
+		return err
+	}
+	n, err := storage.Enumerate(storage.NewMemFS(), 21, workload, func(k int, crashed *storage.MemFS) error {
+		// The journal on the crashed FS must be resumable or absent —
+		// never a readable blend. Then recovery must reconverge.
+		c := cfg
+		c.FS = crashed
+		res, err := Resume(c)
+		if err != nil {
+			var je *JournalError
+			if !errors.As(err, &je) {
+				t.Fatalf("crash at op %d: resume error %v is not typed", k, err)
+			}
+			if je.Reason != "missing" {
+				t.Fatalf("crash at op %d: journal left in state %q, want resumable or missing", k, je.Reason)
+			}
+			if res, err = Run(c); err != nil {
+				t.Fatalf("crash at op %d: fresh run after crash: %v", k, err)
+			}
+		}
+		if got := docBytes(t, res); string(got) != string(refDoc) {
+			t.Fatalf("crash at op %d: recovered document diverges from reference", k)
+		}
+		final, rerr := crashed.ReadFile(cfg.CheckpointPath)
+		if rerr != nil || string(final) != string(refJournal) {
+			t.Fatalf("crash at op %d: recovered journal differs from reference (err %v)", k, rerr)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("enumerate: %v", err)
+	}
+	// 2 chunks (4 units / CheckpointEvery 2), each checkpoint is
+	// mkdir+write+sync+rename+sync = 5 ops.
+	if n != 10 {
+		t.Fatalf("workload performed %d FS ops, want 10", n)
+	}
+}
+
+// TestCheckpointCrashMidRun: the cheap single-point version of the
+// enumeration above, kept outside the -short gate so tier-1 always
+// exercises at least one injected filesystem crash.
+func TestCheckpointCrashMidRun(t *testing.T) {
+	cfg := fsTestConfig()
+	ref := cfg
+	ref.FS = storage.NewMemFS()
+	refRes, err := Run(ref)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	refDoc := docBytes(t, refRes)
+
+	base := storage.NewMemFS()
+	// Crash inside the second checkpoint's write (op 7 of 10: its tmp
+	// write), so one complete chunk survives on disk.
+	c := cfg
+	c.FS = storage.NewFault(base, storage.Plan{Seed: 5, CrashAtOp: 7})
+	_, err = Run(c)
+	if !errors.Is(err, storage.ErrCrashed) {
+		var je *JournalError
+		if !errors.As(err, &je) {
+			t.Fatalf("crashed run error %v is not typed", err)
+		}
+	}
+	c.FS = base
+	res, err := Resume(c)
+	if err != nil {
+		t.Fatalf("resume from crashed FS: %v", err)
+	}
+	if !res.Resumed {
+		t.Fatal("recovery did not resume from the surviving chunk")
+	}
+	if got := docBytes(t, res); string(got) != string(refDoc) {
+		t.Fatal("document after mid-write crash diverges from reference")
+	}
+}

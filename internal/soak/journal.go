@@ -3,10 +3,14 @@ package soak
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"syscall"
+
+	"repro/internal/storage"
 )
 
 // journalMagic identifies a soak journal file.
@@ -18,11 +22,12 @@ const journalSchema = 1
 
 // JournalError is the typed failure for every way a checkpoint journal (or
 // any other envelope-based store file — see SaveEnvelope) can be unusable:
-// missing, truncated, corrupt, or written by an incompatible configuration.
-// Callers distinguish cases by Reason; errors.As recovers the struct.
+// missing, truncated, corrupt, written by an incompatible configuration, or
+// unwritable because the disk is full. Callers distinguish cases by Reason;
+// errors.As recovers the struct.
 type JournalError struct {
 	Path   string
-	Reason string // "missing", "corrupt", "schema", "mismatch", "io"
+	Reason string // "missing", "corrupt", "schema", "mismatch", "io", "enospc"
 	Err    error  // underlying error, when one exists
 }
 
@@ -37,6 +42,16 @@ func (e *JournalError) Error() string {
 // Unwrap exposes the underlying error.
 func (e *JournalError) Unwrap() error { return e.Err }
 
+// writeError classifies a failed durable write: a full disk gets its own
+// reason ("enospc") so callers can tell resource exhaustion — retryable,
+// operator-actionable — from arbitrary I/O failure.
+func writeError(path string, err error) *JournalError {
+	if errors.Is(err, syscall.ENOSPC) {
+		return &JournalError{Path: path, Reason: "enospc", Err: err}
+	}
+	return &JournalError{Path: path, Reason: "io", Err: err}
+}
+
 // envelope is the on-disk checkpoint format shared by the soak journal and
 // every other crash-safe store built on it (the serve daemon's result store
 // and job queue). State is kept as raw bytes so the CRC covers exactly what
@@ -50,16 +65,25 @@ type envelope struct {
 	State       json.RawMessage `json:"state"`
 }
 
-// SaveEnvelope checkpoints state atomically under the journal discipline:
-// marshal, CRC, write to a temp file in the same directory, rename over the
-// target. A kill -9 at any instant therefore leaves either the previous
-// file or the new one, never a torn write. magic and schema identify the
-// file format; seed and fingerprint identify the configuration that wrote
-// it, and LoadEnvelope rejects a file whose identity does not match.
-// Exported so other crash-safe stores (the serve daemon's memoized result
-// store and journaled job queue) reuse the exact same discipline and typed
-// failure modes instead of reinventing them.
+// SaveEnvelope checkpoints state atomically under the journal discipline —
+// see SaveEnvelopeFS, which this wraps with the real filesystem.
 func SaveEnvelope(path, magic string, schema int, seed uint64, fingerprint string, state any) error {
+	return SaveEnvelopeFS(storage.Disk, path, magic, schema, seed, fingerprint, state)
+}
+
+// SaveEnvelopeFS checkpoints state atomically under the journal discipline:
+// marshal, CRC, write to a temp file in the same directory, fsync it, rename
+// over the target, fsync the directory. A kill -9 at any instant therefore
+// leaves either the previous file or the new one, never a torn write. magic
+// and schema identify the file format; seed and fingerprint identify the
+// configuration that wrote it, and LoadEnvelope rejects a file whose
+// identity does not match. Exported so other crash-safe stores (the serve
+// daemon's memoized result store and journaled job queue) reuse the exact
+// same discipline and typed failure modes instead of reinventing them. All
+// file operations go through fsys so the storage fault layer can inject
+// failures and enumerate crash points.
+func SaveEnvelopeFS(fsys storage.FS, path, magic string, schema int, seed uint64, fingerprint string, state any) error {
+	fsys = storage.Default(fsys)
 	raw, err := json.Marshal(state)
 	if err != nil {
 		return &JournalError{Path: path, Reason: "io", Err: err}
@@ -77,29 +101,48 @@ func SaveEnvelope(path, magic string, schema int, seed uint64, fingerprint strin
 		return &JournalError{Path: path, Reason: "io", Err: err}
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(out, '\n'), 0o644); err != nil {
-		return &JournalError{Path: path, Reason: "io", Err: err}
+	if err := fsys.WriteFile(tmp, append(out, '\n'), 0o644); err != nil {
+		return writeError(path, err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		return &JournalError{Path: path, Reason: "io", Err: err}
+	if err := fsys.Sync(tmp); err != nil {
+		return writeError(path, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return writeError(path, err)
+	}
+	if dir := filepath.Dir(path); dir != "" {
+		if err := fsys.Sync(dir); err != nil {
+			return writeError(path, err)
+		}
 	}
 	return nil
 }
 
-// LoadEnvelope reads and validates an envelope written by SaveEnvelope,
+// LoadEnvelope reads and validates an envelope written by SaveEnvelope —
+// see LoadEnvelopeFS, which this wraps with the real filesystem.
+func LoadEnvelope(path, magic string, schema int, seed uint64, fingerprint string) (json.RawMessage, error) {
+	return LoadEnvelopeFS(storage.Disk, path, magic, schema, seed, fingerprint)
+}
+
+// LoadEnvelopeFS reads and validates an envelope written by SaveEnvelopeFS,
 // returning the state bytes it carries (in compact form, exactly what the
 // CRC was computed over). Every failure mode maps to a *JournalError:
 // "missing" when the file does not exist, "corrupt" for torn or tampered
-// bytes (bad JSON, wrong magic, CRC mismatch), "schema" for a version the
-// caller does not speak, and "mismatch" when seed or fingerprint disagree
-// with the expected identity.
-func LoadEnvelope(path, magic string, schema int, seed uint64, fingerprint string) (json.RawMessage, error) {
-	data, err := os.ReadFile(path)
+// bytes (bad JSON, empty file, wrong magic, CRC mismatch), "schema" for a
+// version the caller does not speak, and "mismatch" when seed or fingerprint
+// disagree with the expected identity.
+func LoadEnvelopeFS(fsys storage.FS, path, magic string, schema int, seed uint64, fingerprint string) (json.RawMessage, error) {
+	fsys = storage.Default(fsys)
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, &JournalError{Path: path, Reason: "missing", Err: err}
 		}
 		return nil, &JournalError{Path: path, Reason: "io", Err: err}
+	}
+	if len(data) == 0 {
+		return nil, &JournalError{Path: path, Reason: "corrupt",
+			Err: fmt.Errorf("empty file")}
 	}
 	var j envelope
 	if err := json.Unmarshal(data, &j); err != nil {
@@ -130,17 +173,17 @@ func LoadEnvelope(path, magic string, schema int, seed uint64, fingerprint strin
 	return compact.Bytes(), nil
 }
 
-// saveJournal checkpoints the soak state atomically (see SaveEnvelope). A
+// saveJournal checkpoints the soak state atomically (see SaveEnvelopeFS). A
 // kill between any two soak chunks leaves either the previous journal or
 // the new one, never a torn file.
 func saveJournal(path string, cfg Config, st *state) error {
-	return SaveEnvelope(path, journalMagic, journalSchema, cfg.Seed, cfg.fingerprint(), st)
+	return SaveEnvelopeFS(cfg.FS, path, journalMagic, journalSchema, cfg.Seed, cfg.fingerprint(), st)
 }
 
 // loadJournal reads and validates a checkpoint, returning the state it
 // carries. Every failure mode maps to a JournalError.
 func loadJournal(path string, cfg Config) (*state, error) {
-	raw, err := LoadEnvelope(path, journalMagic, journalSchema, cfg.Seed, cfg.fingerprint())
+	raw, err := LoadEnvelopeFS(cfg.FS, path, journalMagic, journalSchema, cfg.Seed, cfg.fingerprint())
 	if err != nil {
 		return nil, err
 	}
@@ -157,10 +200,10 @@ func loadJournal(path string, cfg Config) (*state, error) {
 }
 
 // ensureDir creates the journal's directory if needed.
-func ensureDir(path string) error {
+func ensureDir(fsys storage.FS, path string) error {
 	dir := filepath.Dir(path)
 	if dir == "." || dir == "" {
 		return nil
 	}
-	return os.MkdirAll(dir, 0o755)
+	return storage.Default(fsys).MkdirAll(dir, 0o755)
 }

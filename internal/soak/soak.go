@@ -23,6 +23,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/protocols/recovery"
+	"repro/internal/storage"
 )
 
 // Regime names one fault environment of the schedule. Plan derives the
@@ -82,6 +83,12 @@ type Config struct {
 	// boundary at or past that many units — the deterministic stand-in
 	// for a kill, used by the resume tests and the -soakstop flag.
 	StopAfterUnits int
+
+	// FS is the filesystem the checkpoint journal is written through; nil
+	// means the real disk. Tests inject a storage fault layer here. FS is
+	// not part of the configuration fingerprint: it changes where bytes
+	// land, never what they are.
+	FS storage.FS
 }
 
 // DefaultConfig is the standard soak shape: STD vs ALL layouts, fixed vs
@@ -327,7 +334,7 @@ func run(ctx context.Context, cfg Config, st *state, resumed bool) (*Result, err
 		n := end - st.NextUnit
 		first := st.NextUnit
 		outs := make([]unitOut, n)
-		err := core.ForEachIndexedCtx(ctx, n, core.Parallelism(), func(i int) error {
+		err := core.ForEachIndexedCtx(ctx, n, core.CtxParallelism(ctx), func(i int) error {
 			out, err := runUnit(cfg, first+i)
 			if err != nil {
 				return err
@@ -362,7 +369,7 @@ func run(ctx context.Context, cfg Config, st *state, resumed bool) (*Result, err
 		}
 		st.NextUnit = end
 		if cfg.CheckpointPath != "" {
-			if err := ensureDir(cfg.CheckpointPath); err != nil {
+			if err := ensureDir(cfg.FS, cfg.CheckpointPath); err != nil {
 				return nil, &JournalError{Path: cfg.CheckpointPath, Reason: "io", Err: err}
 			}
 			if err := saveJournal(cfg.CheckpointPath, cfg, st); err != nil {

@@ -1,0 +1,217 @@
+package storage
+
+import (
+	"io/fs"
+	"maps"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MemFS is a deterministic in-memory filesystem for fault and crash tests:
+// no wall-clock timestamps, lexicographic Glob order, and O(1) Clone so the
+// crash-point enumeration harness can replay a workload from an identical
+// starting state as many times as it has operations. Safe for concurrent
+// use.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+	dirs  map[string]bool
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: map[string][]byte{}, dirs: map[string]bool{"/": true, ".": true}}
+}
+
+// Clone returns an independent deep copy — the snapshot primitive the
+// enumeration harness replays workloads from.
+func (m *MemFS) Clone() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := &MemFS{files: make(map[string][]byte, len(m.files)), dirs: maps.Clone(m.dirs)}
+	for p, b := range m.files {
+		c.files[p] = append([]byte(nil), b...)
+	}
+	return c
+}
+
+// Files returns a deep copy of every file's bytes keyed by path — the
+// byte-identity oracle crash tests compare recovered states against.
+func (m *MemFS) Files() map[string][]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string][]byte, len(m.files))
+	for p, b := range m.files {
+		out[p] = append([]byte(nil), b...)
+	}
+	return out
+}
+
+// pathError builds the same *fs.PathError shape the os package returns, so
+// os.IsNotExist and friends classify MemFS failures identically.
+func pathError(op, path string, err error) error {
+	return &fs.PathError{Op: op, Path: path, Err: err}
+}
+
+// ReadFile returns the file's full contents.
+func (m *MemFS) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[path]
+	if !ok {
+		return nil, pathError("open", path, fs.ErrNotExist)
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// WriteFile replaces the file's contents, creating it if needed. The
+// parent directory must exist, mirroring the os behaviour the envelope
+// discipline depends on (MkdirAll first).
+func (m *MemFS) WriteFile(path string, data []byte, perm os.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if dir := filepath.Dir(path); dir != "." && dir != "/" && !m.dirs[dir] {
+		return pathError("open", path, fs.ErrNotExist)
+	}
+	m.files[path] = append([]byte(nil), data...)
+	return nil
+}
+
+// Sync is a countable no-op: MemFS state is always durable, but the fault
+// layer still needs a Sync operation to fail and to enumerate crashes
+// around.
+func (m *MemFS) Sync(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; ok {
+		return nil
+	}
+	if m.dirs[path] || path == "." || path == "/" {
+		return nil
+	}
+	return pathError("sync", path, fs.ErrNotExist)
+}
+
+// Rename atomically replaces newpath with oldpath.
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[oldpath]
+	if !ok {
+		return pathError("rename", oldpath, fs.ErrNotExist)
+	}
+	m.files[newpath] = b
+	delete(m.files, oldpath)
+	return nil
+}
+
+// Remove deletes a file.
+func (m *MemFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; !ok {
+		return pathError("remove", path, fs.ErrNotExist)
+	}
+	delete(m.files, path)
+	return nil
+}
+
+// MkdirAll creates a directory and any missing parents.
+func (m *MemFS) MkdirAll(path string, perm os.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := filepath.Clean(path)
+	for p != "." && p != "/" {
+		m.dirs[p] = true
+		p = filepath.Dir(p)
+	}
+	return nil
+}
+
+// Stat reports file metadata (size and name; MemFS has no timestamps).
+func (m *MemFS) Stat(path string) (fs.FileInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if b, ok := m.files[path]; ok {
+		return memInfo{name: filepath.Base(path), size: int64(len(b))}, nil
+	}
+	if m.dirs[filepath.Clean(path)] {
+		return memInfo{name: filepath.Base(path), dir: true}, nil
+	}
+	return nil, pathError("stat", path, fs.ErrNotExist)
+}
+
+// Glob lists the files matching pattern in lexicographic order.
+func (m *MemFS) Glob(pattern string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for p := range m.files {
+		ok, err := filepath.Match(pattern, p)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// String renders a deterministic one-line inventory (path:size, sorted),
+// handy in test failure messages.
+func (m *MemFS) String() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	paths := make([]string, 0, len(m.files))
+	for p := range m.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var sb strings.Builder
+	for i, p := range paths {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		sb.WriteString(p)
+		sb.WriteString(":")
+		sb.WriteString(strconv.Itoa(len(m.files[p])))
+	}
+	return sb.String()
+}
+
+// memInfo is the fs.FileInfo MemFS.Stat returns.
+type memInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+// Name returns the base name.
+func (i memInfo) Name() string { return i.name }
+
+// Size returns the file's length in bytes.
+func (i memInfo) Size() int64 { return i.size }
+
+// Mode reports a plain file or directory mode.
+func (i memInfo) Mode() fs.FileMode {
+	if i.dir {
+		return fs.ModeDir | 0o755
+	}
+	return 0o644
+}
+
+// ModTime is the zero time: MemFS is deterministic and clock-free.
+func (i memInfo) ModTime() time.Time { return time.Time{} }
+
+// IsDir reports whether the entry is a directory.
+func (i memInfo) IsDir() bool { return i.dir }
+
+// Sys returns nil.
+func (i memInfo) Sys() any { return nil }

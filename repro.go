@@ -36,6 +36,7 @@ import (
 	"repro/internal/protocols/recovery"
 	"repro/internal/serve"
 	"repro/internal/soak"
+	"repro/internal/storage"
 )
 
 // Version is one of the paper's six measured configurations.
@@ -478,5 +479,32 @@ type (
 )
 
 // NewServer opens the daemon's store, replays the journaled job queue
-// (crash recovery), and starts its worker.
+// (crash recovery), and starts its workers.
 func NewServer(cfg ServeConfig) (*ServeServer, error) { return serve.New(cfg) }
+
+// SubmitOptions and SubmitResult shape a client-side submission to a
+// running daemon (`protolat -submit`): how many 429/503 rejections to
+// retry with the server's Retry-After hint, and the returned document plus
+// its cache/fingerprint identity headers.
+type (
+	SubmitOptions = serve.SubmitOptions
+	SubmitResult  = serve.SubmitResult
+)
+
+// SubmitSpec posts a spec to a daemon's /v1/experiments endpoint,
+// retrying 429/503 rejections per opts with capped deterministic
+// exponential backoff.
+func SubmitSpec(addr string, spec []byte, opts SubmitOptions) (*SubmitResult, error) {
+	return serve.Submit(addr, spec, opts)
+}
+
+// StorageFS is the injectable filesystem beneath every durable write
+// (journals, the daemon store); StorageFromEnv parses a PROTOLAT_FSFAULT
+// fault spec ("enospc=<glob>,crash-at=<n>,seed=<n>,...") into one, for
+// black-box storage-fault testing of the real binary. An empty spec
+// returns the real disk.
+type StorageFS = storage.FS
+
+// StorageFromEnv builds the fault-injecting FS a PROTOLAT_FSFAULT spec
+// describes (nil error and real disk for an empty spec).
+func StorageFromEnv(spec string) (StorageFS, error) { return storage.FromEnv(spec) }

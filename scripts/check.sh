@@ -3,9 +3,11 @@
 # public surfaces, vet (toolchain and the repo's own determinism
 # analyzers), build, the full test suite under the race detector (the
 # parallel runner and the fault-injection paths are both exercised), the
-# fixed-seed fault-study, layout-lint, and machine-matrix smoke tests with
-# their golden-output diffs, the experiment-daemon smoke test (memoization,
-# graceful drain, kill -9 recovery), and the CLI documentation drift gate. Perf records
+# fixed-seed fault-study, layout-lint, and machine-matrix smoke tests
+# (clean and fault-regime) with their golden-output diffs, the
+# experiment-daemon smoke tests (memoization, graceful drain, kill -9
+# recovery, injected-ENOSPC degradation), and the CLI documentation drift
+# gate. Perf records
 # are separate: `make bench` refreshes BENCH_*.json and `make profile`
 # captures pprof artifacts; neither is part of the tier-1 gate because
 # wall-clock numbers are machine-dependent (the allocation-regression
@@ -24,7 +26,7 @@ fi
 # Doc-comment gate: every exported top-level declaration in the packages
 # that form the repo's API surface must carry a doc comment.
 undocumented=$(
-	find . internal/core internal/faults internal/layout internal/machines internal/obs internal/verify internal/vet \
+	find . internal/core internal/faults internal/layout internal/machines internal/obs internal/storage internal/verify internal/vet \
 		-maxdepth 1 -name '*.go' ! -name '*_test.go' |
 		while read -r f; do
 			awk -v f="$f" '
@@ -46,6 +48,8 @@ go test -race ./...
 ./scripts/fault_smoke.sh
 ./scripts/soak_smoke.sh
 ./scripts/serve_smoke.sh
+./scripts/fsfault_smoke.sh
 ./scripts/lint_smoke.sh
 ./scripts/machines_smoke.sh
+./scripts/machines_fault_smoke.sh
 ./scripts/doc_check.sh

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Storage-fault smoke test: exercise the daemon's degradation ladder
+# through the real binary — no test hooks beyond the PROTOLAT_FSFAULT
+# environment seam — and require:
+#
+#   1. with ENOSPC injected on document writes, a submission still returns
+#      a 200 document (computed, never persisted): the store holds no
+#      .doc.json and the job journal is retained so a restart recomputes,
+#   2. kill -9 of the degraded daemon loses nothing: restarted with a
+#      healthy disk it replays the journaled job, persists the document,
+#      and serves the byte-identical result as a store hit.
+#
+# Every wait is a bounded poll on daemon output or store files, so the
+# script is safe on a single-core runner.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'kill -9 "${DPID:-}" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/protolat" ./cmd/protolat
+
+printf '{"kind":"run","version":"STD","samples":1}\n' > "$tmp/run.json"
+
+# start_daemon <store> <log> [env...]: launch the daemon on a free port
+# (optionally under a PROTOLAT_FSFAULT spec), wait for its announcement
+# line, and export DPID/DADDR.
+start_daemon() {
+    local store=$1 log=$2
+    shift 2
+    env "$@" "$tmp/protolat" -serve -addr 127.0.0.1:0 -store "$store" 2> "$log" &
+    DPID=$!
+    for _ in $(seq 1 300); do
+        DADDR=$(sed -n 's/^protolat: serving on \([^ ]*\).*/\1/p' "$log")
+        [ -n "$DADDR" ] && return 0
+        sleep 0.1
+    done
+    echo "FAIL: daemon did not announce a listen address (log: $(cat "$log"))" >&2
+    exit 1
+}
+
+wait_gone() {
+    for _ in $(seq 1 1200); do
+        compgen -G "$1" > /dev/null || return 0
+        sleep 0.05
+    done
+    echo "FAIL: timed out waiting for $1 to clear" >&2
+    exit 1
+}
+
+# --- 1. ENOSPC on document writes: degraded but correct -------------------
+store=$tmp/store
+# The glob must catch the .tmp staging write (<fp>.doc.json.tmp), which is
+# where the envelope discipline actually spends the bytes.
+start_daemon "$store" "$tmp/d1.log" PROTOLAT_FSFAULT="enospc=*.doc.json*"
+
+"$tmp/protolat" -addr "$DADDR" -submit "$tmp/run.json" > "$tmp/degraded.json" 2> "$tmp/degraded.err"
+grep -q 'cache: computed' "$tmp/degraded.err" || {
+    echo "FAIL: degraded submission did not compute: $(cat "$tmp/degraded.err")" >&2
+    exit 1
+}
+[ -s "$tmp/degraded.json" ] || {
+    echo "FAIL: degraded submission returned an empty document" >&2
+    exit 1
+}
+if compgen -G "$store/*.doc.json" > /dev/null; then
+    echo "FAIL: a document landed in the store despite injected ENOSPC" >&2
+    exit 1
+fi
+compgen -G "$store/*.job.json" > /dev/null || {
+    echo "FAIL: degraded persist dropped the job journal (restart would lose the job)" >&2
+    exit 1
+}
+
+# --- 2. kill -9, restart healthy, replay persists the same bytes ----------
+kill -9 "$DPID"
+wait "$DPID" 2> /dev/null || true
+unset DPID
+
+start_daemon "$store" "$tmp/d2.log"
+wait_gone "$store/*.job.json"
+compgen -G "$store/*.doc.json" > /dev/null || {
+    echo "FAIL: replayed job did not persist a document on the healthy disk" >&2
+    exit 1
+}
+"$tmp/protolat" -addr "$DADDR" -submit "$tmp/run.json" > "$tmp/recovered.json" 2> "$tmp/recovered.err"
+grep -q 'cache: hit' "$tmp/recovered.err" || {
+    echo "FAIL: recovered daemon did not serve from the store: $(cat "$tmp/recovered.err")" >&2
+    exit 1
+}
+cmp -s "$tmp/degraded.json" "$tmp/recovered.json" || {
+    echo "FAIL: recovered document differs from the degraded-path response" >&2
+    exit 1
+}
+kill -TERM "$DPID" && wait "$DPID" || true
+unset DPID
+
+echo "fsfault smoke OK: ENOSPC degraded to computed-not-persisted, kill -9 replay persisted identical bytes"
