@@ -18,6 +18,8 @@
 //	protolat -soak -checkpoint s.journal -resume        # continue from the journal
 //	protolat -profile -top 8                      # per-function mCPI attribution
 //	protolat -lint                                # static layout lint, no simulation
+//	protolat -optimize dec3000 -seed 1            # search placements vs the hand ALL layout
+//	protolat -optimize all -budget 300 -candidates 3   # whole matrix, custom search shape
 //	protolat -machines list                       # print the machine-model matrix
 //	protolat -machines all                        # layout x machine sweep, every model
 //	protolat -machines dec3000,modern -stack rpc  # a subset, on the RPC stack
@@ -63,11 +65,14 @@ func main() {
 		chkpoint = flag.String("checkpoint", "", "journal path for -soak; written after every chunk so a killed soak can -resume")
 		resume   = flag.Bool("resume", false, "continue a -soak run from its -checkpoint journal instead of starting fresh")
 		soakstop = flag.Int("soakstop", 0, "stop the soak at the first chunk boundary at or after this many units (0 = run to completion)")
-		seed     = flag.Uint64("seed", 1, "fault-plan seed for -faults and -soak; same seed = byte-identical report at any -parallel")
+		seed     = flag.Uint64("seed", 1, "deterministic seed for -faults, -soak and -optimize; same seed = byte-identical report at any -parallel")
 		rates    = flag.String("rates", "", "comma-separated fault rates for -faults (default 0,0.02,0.05,0.10)")
 		machsel  = flag.String("machines", "", "run the machine-matrix study on these models: \"all\", a comma-separated list of names, or \"list\" to print the matrix")
 		profile  = flag.Bool("profile", false, "per-function mCPI attribution and i-cache conflict heatmap per version")
 		lint     = flag.Bool("lint", false, "static layout lint: predicted i-cache conflicts per version from placed addresses, no simulation")
+		optimiz  = flag.String("optimize", "", "search code placements with the static cost engine on these machine models (\"all\" or a comma-separated list); every candidate is equivalence-proved, winners confirmed by simulation")
+		budget   = flag.Int("budget", 0, "annealing steps per machine for -optimize (0 = default)")
+		cands    = flag.Int("candidates", 0, "searched placements confirmed by full simulation per machine for -optimize (0 = default)")
 		top      = flag.Int("top", 10, "functions listed per version in -profile output")
 		jsonPath = flag.String("json", "", "also write the run as a structured JSON document (manifest + data) to this path")
 		parallel = flag.Int("parallel", 0, "worker pool for samples and table cells (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
@@ -104,7 +109,7 @@ func main() {
 		check(fill(&doc))
 		b, err := doc.Marshal()
 		check(err)
-		check(os.WriteFile(*jsonPath, b, 0o644))
+		check(repro.StorageDisk.WriteFile(*jsonPath, b, 0o644))
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 	}
 
@@ -159,6 +164,30 @@ func main() {
 		export(fmt.Sprintf("protolat -soak -stack %s -seed %d -quality %s", stackName(kind), *seed, *quality), *seed,
 			func(doc *repro.Document) error {
 				doc.Soak = repro.SoakDocOf(res)
+				return nil
+			})
+
+	case *optimiz != "":
+		models, err := repro.SelectMachines(*optimiz)
+		check(err)
+		cfg := repro.DefaultOptimize(kind, *seed)
+		cfg.Models = models
+		if *budget > 0 {
+			cfg.Budget = *budget
+		}
+		if *cands > 0 {
+			cfg.TopK = *cands
+		}
+		if *quality == "paper" {
+			cfg.Quality = repro.Quality{Warmup: 8, Measured: 24, Samples: 3}
+		}
+		results, err := repro.Optimize(cfg)
+		check(err)
+		fmt.Println(repro.RenderOptimize(cfg, results))
+		export(fmt.Sprintf("protolat -optimize %s -stack %s -seed %d -budget %d -candidates %d -quality %s",
+			*optimiz, stackName(kind), *seed, cfg.Budget, cfg.TopK, *quality), *seed,
+			func(doc *repro.Document) error {
+				doc.Optimize = repro.OptimizeDocOf(cfg, results)
 				return nil
 			})
 

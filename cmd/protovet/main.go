@@ -1,7 +1,9 @@
-// Command protovet runs this repository's determinism analyzers over the
-// whole module: no wall-clock or ambient-randomness reads in the
-// simulation core, no formatted output from inside map iterations, and no
-// %p verbs in format strings. It is part of `make check`.
+// Command protovet runs this repository's determinism and seam analyzers
+// over the whole module: no wall-clock or ambient-randomness reads in the
+// simulation core, no formatted output from inside map iterations, no
+// %p verbs in format strings, and no direct os filesystem mutation
+// outside internal/storage (durable writes must go through the
+// fault-injectable storage.FS seam). It is part of `make check`.
 //
 // Usage:
 //

@@ -72,6 +72,15 @@ type Config struct {
 	// differing only here never share compiled programs or memoized
 	// results.
 	Machine arch.Machine
+
+	// Custom, when non-nil, is a pre-built program image the hosts run in
+	// place of the BuildProgram output for (Stack, Version, Feat,
+	// Strategy, Machine) — the seam the layout optimizer uses to confirm
+	// a searched placement by full simulation. The image must already be
+	// placed, linked and verified; it bypasses the program cache. The RPC
+	// server keeps its fixed ALL reference image even under Custom, just
+	// as it ignores Version.
+	Custom *code.Program
 }
 
 // machine resolves Config.Machine, mapping the zero value to the paper's
@@ -304,9 +313,13 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 // version executes (Table 9's Size columns).
 func staticPathInstrs(cfg Config) int {
 	m := cfg.machine()
-	prog, err := BuildProgram(cfg.Stack, cfg.Version, cfg.Feat, cfg.Strategy, m)
-	if err != nil {
-		return 0
+	prog := cfg.Custom
+	if prog == nil {
+		built, err := BuildProgram(cfg.Stack, cfg.Version, cfg.Feat, cfg.Strategy, m)
+		if err != nil {
+			return 0
+		}
+		prog = built
 	}
 	_, spec := stackModels(cfg.Stack, cfg.Feat)
 	names := append(append([]string(nil), spec.Path...), spec.Library...)
@@ -347,19 +360,28 @@ type hostPair struct {
 // buildPair constructs the two hosts for a run.
 func buildPair(cfg Config, sampleIdx, roundtrips int) (*hostPair, error) {
 	m := cfg.machine()
-	clientProg, err := BuildProgram(cfg.Stack, cfg.Version, cfg.Feat, cfg.Strategy, m)
-	if err != nil {
-		return nil, err
+	clientProg := cfg.Custom
+	if clientProg == nil {
+		built, err := BuildProgram(cfg.Stack, cfg.Version, cfg.Feat, cfg.Strategy, m)
+		if err != nil {
+			return nil, err
+		}
+		clientProg = built
 	}
 	// The RPC server always runs the best (ALL) version so the reference
-	// point stays fixed; the TCP/IP experiments optimize both sides.
-	serverVersion := cfg.Version
-	if cfg.Stack == StackRPC {
-		serverVersion = ALL
-	}
-	serverProg, err := BuildProgram(cfg.Stack, serverVersion, cfg.Feat, cfg.Strategy, m)
-	if err != nil {
-		return nil, err
+	// point stays fixed; the TCP/IP experiments optimize both sides (and
+	// so does a Custom image).
+	serverProg := cfg.Custom
+	if cfg.Stack == StackRPC || serverProg == nil {
+		serverVersion := cfg.Version
+		if cfg.Stack == StackRPC {
+			serverVersion = ALL
+		}
+		built, err := BuildProgram(cfg.Stack, serverVersion, cfg.Feat, cfg.Strategy, m)
+		if err != nil {
+			return nil, err
+		}
+		serverProg = built
 	}
 
 	q := xkernel.NewEventQueue()

@@ -30,6 +30,13 @@ func lintSpec(kind StackKind, feat features.Set, v Version) verify.PathSpec {
 	return verify.PathSpec{Path: spec.Path, Library: spec.Library}
 }
 
+// LintSpec returns the latency-path spec the lint walks for one version
+// under the standard feature set — exported so tests and tools can lint a
+// single built image on a chosen machine geometry.
+func LintSpec(kind StackKind, v Version) verify.PathSpec {
+	return lintSpec(kind, features.Improved(), v)
+}
+
 // LintStudy lints every version's linked image: a purely static sweep that
 // predicts per-version i-cache behaviour in microseconds of CPU time rather
 // than minutes of simulation. Cells come back in Versions() order.

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"repro/internal/code"
+	"repro/internal/layout"
+	"repro/internal/protocols/features"
+)
+
+// OptimizeMaterial builds the raw material the layout optimizer searches
+// over: the stack's models with outlining, path-inlining and re-outlining
+// applied — the ALL pipeline up to, but not including, the bipartite
+// placement — plus the clone spec for the inlined path and the
+// per-function invocation counts the micro-positioning layout already
+// uses as its default frequency hints. The returned program is unplaced
+// and unlinked; the optimizer specializes it once (layout.Specialize) to
+// form the reference image every candidate placement must stay move-only
+// equivalent to.
+func OptimizeMaterial(kind StackKind, feat features.Set) (*code.Program, layout.Spec, map[string]int, error) {
+	fns, spec := stackModels(kind, feat)
+	base := code.NewProgram()
+	if err := base.Add(fns...); err != nil {
+		return nil, layout.Spec{}, nil, err
+	}
+	p := layout.Outline(base)
+	root, inlinable := inlineSpec(kind)
+	p, err := layout.PathInline(p, root, inlinable)
+	if err != nil {
+		return nil, layout.Spec{}, nil, err
+	}
+	p = layout.Outline(p)
+	inlSpec := layout.Spec{
+		Path:    []string{"lance_rx", "lance_post"},
+		Library: spec.Library,
+	}
+	return p, inlSpec, usageHint(spec), nil
+}

@@ -131,3 +131,14 @@ func specialize(p *code.Program, s Spec) int {
 	}
 	return removed
 }
+
+// Specialize applies cloning's code specialization (see specialize) to
+// every function in the spec, in place, and returns the number of
+// instructions removed. The layout optimizer uses it to build the
+// specialized-but-unplaced reference image its candidates must stay
+// move-only equivalent to: specialization is the one licensed instruction
+// change, so applying it once up front means every candidate placement can
+// be proved byte-identical to the reference.
+func Specialize(p *code.Program, s Spec) int {
+	return specialize(p, s)
+}

@@ -400,6 +400,46 @@ type MachinesDoc struct {
 	Cells    []MachineCellDoc  `json:"cells"`
 }
 
+// OptimizeCandidateDoc is one searched placement that passed the
+// well-formedness and move-only equivalence proofs and was confirmed by
+// full simulation, with its predicted and measured replacement misses side
+// by side.
+type OptimizeCandidateDoc struct {
+	Rank          int      `json:"rank"`
+	Order         []string `json:"order"`
+	PadBlocks     []int    `json:"pad_blocks,omitempty"`
+	PredictedCost float64  `json:"predicted_cost"`
+	PredictedRepl int      `json:"predicted_repl"`
+	MeasuredRepl  uint64   `json:"measured_repl"`
+	MeasuredTpUS  float64  `json:"measured_tp_us"`
+	HotBytes      uint64   `json:"hot_bytes"`
+}
+
+// OptimizeMachineDoc is one machine's layout-search outcome: the hand
+// bipartite baseline, the search's proof-gate counters, and the confirmed
+// candidates.
+type OptimizeMachineDoc struct {
+	Model               string                 `json:"model"`
+	HandTpUS            float64                `json:"hand_tp_us"`
+	HandMeasuredRepl    uint64                 `json:"hand_measured_repl"`
+	HandPredictedRepl   int                    `json:"hand_predicted_repl"`
+	HandPredictedCost   float64                `json:"hand_predicted_cost"`
+	Examined            int                    `json:"examined"`
+	RejectedWellFormed  int                    `json:"rejected_well_formed"`
+	RejectedEquivalence int                    `json:"rejected_equivalence"`
+	Candidates          []OptimizeCandidateDoc `json:"candidates"`
+}
+
+// OptimizeDoc is the layout-search section of a document (protolat
+// -optimize): one entry per machine searched.
+type OptimizeDoc struct {
+	Stack  string               `json:"stack"`
+	Seed   uint64               `json:"seed"`
+	Budget int                  `json:"budget"`
+	TopK   int                  `json:"top_k"`
+	Cells  []OptimizeMachineDoc `json:"cells"`
+}
+
 // Document is the root of a protolat JSON export: the manifest plus
 // whatever the selected mode produced.
 type Document struct {
@@ -412,6 +452,7 @@ type Document struct {
 	Verify     *VerifyDoc     `json:"verify,omitempty"`
 	Serve      *ServeStatsDoc `json:"serve,omitempty"`
 	Machines   *MachinesDoc   `json:"machines,omitempty"`
+	Optimize   *OptimizeDoc   `json:"optimize,omitempty"`
 }
 
 // Marshal renders the document as indented JSON with a trailing newline.

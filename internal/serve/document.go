@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machines"
 	"repro/internal/obs"
+	"repro/internal/optimize"
 	"repro/internal/protocols/recovery"
 	"repro/internal/soak"
 )
@@ -183,6 +184,27 @@ func (s *Server) buildDocument(ctx context.Context, spec Spec, fp string) (*obs.
 		doc := s.newDoc(fmt.Sprintf("protolat -machines %s -stack %s -seed %d -rates %s -quality %s",
 			spec.Models, spec.Stack, spec.Seed, spec.Rates, spec.Quality), spec.Seed, q)
 		doc.Machines = core.MachineStudyDocOf(cfg, cells)
+		return doc, nil
+
+	case "optimize":
+		models, err := machines.Select(spec.Models)
+		if err != nil {
+			return nil, &SpecError{Field: "models", Msg: err.Error()}
+		}
+		cfg := optimize.Default(kind, spec.Seed)
+		cfg.Models = models
+		cfg.Budget = spec.Budget
+		if spec.Quality == "paper" {
+			cfg.Quality = core.Quality{Warmup: 8, Measured: 24, Samples: 3}
+		}
+		cfg.EventBudget = s.cfg.EventBudget
+		results, err := optimize.RunCtx(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		doc := s.newDoc(fmt.Sprintf("protolat -optimize %s -stack %s -seed %d -budget %d -candidates %d -quality %s",
+			spec.Models, spec.Stack, spec.Seed, cfg.Budget, cfg.TopK, spec.Quality), spec.Seed, q)
+		doc.Optimize = optimize.DocOf(cfg, results)
 		return doc, nil
 
 	case "profile":

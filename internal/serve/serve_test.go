@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/optimize"
 	"repro/internal/soak"
 )
 
@@ -147,6 +148,52 @@ func TestSubmitMachinesMemoizes(t *testing.T) {
 	}
 	if !bytes.Equal(b1, b2) {
 		t.Fatal("memoized machines response is not byte-identical")
+	}
+}
+
+// TestSubmitOptimizeMemoizes: the optimize kind flows through the daemon —
+// the layout search runs under the proof gates, the document carries the
+// optimize section with predicted-vs-measured numbers, and a re-submit is
+// served byte-identically from the store.
+func TestSubmitOptimizeMemoizes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	spec := `{"kind":"optimize","models":"dec3000","budget":40}`
+	r1, b1 := post(t, ts, spec)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("first submit: %s: %s", r1.Status, b1)
+	}
+	var doc struct {
+		Optimize *struct {
+			Budget int `json:"budget"`
+			Cells  []struct {
+				Model               string `json:"model"`
+				RejectedEquivalence int    `json:"rejected_equivalence"`
+				Candidates          []struct {
+					PredictedRepl int     `json:"predicted_repl"`
+					MeasuredTpUS  float64 `json:"measured_tp_us"`
+				} `json:"candidates"`
+			} `json:"cells"`
+		} `json:"optimize"`
+	}
+	if err := json.Unmarshal(b1, &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if doc.Optimize == nil || doc.Optimize.Budget != 40 || len(doc.Optimize.Cells) != 1 {
+		t.Fatalf("optimize section malformed: %+v", doc.Optimize)
+	}
+	cell := doc.Optimize.Cells[0]
+	if cell.Model != "dec3000" || cell.RejectedEquivalence < 1 || len(cell.Candidates) == 0 {
+		t.Fatalf("optimize cell malformed: %+v", cell)
+	}
+	if cell.Candidates[0].MeasuredTpUS <= 0 {
+		t.Fatalf("candidate missing confirmation measurement: %+v", cell.Candidates[0])
+	}
+	r2, b2 := post(t, ts, spec)
+	if r2.StatusCode != http.StatusOK || r2.Header.Get("X-Protolat-Cache") != "hit" {
+		t.Fatalf("second submit: %s cache=%q", r2.Status, r2.Header.Get("X-Protolat-Cache"))
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("memoized optimize response is not byte-identical")
 	}
 }
 
@@ -581,6 +628,18 @@ func TestFingerprintCanonicalization(t *testing.T) {
 	}
 	if (Spec{Kind: "machines", Models: "dec3000,modern"}).Fingerprint("v1") == ma {
 		t.Fatal("machine subset shares the full matrix's fingerprint")
+	}
+	// The search budget is semantic for optimize — the default spelled
+	// out fingerprints like the default relied on, another budget not.
+	oa := Spec{Kind: "optimize"}.Fingerprint("v1")
+	if (Spec{Kind: "optimize", Budget: optimize.DefaultBudget, Models: "ALL"}).Fingerprint("v1") != oa {
+		t.Fatal("optimize default budget spelled out fingerprints differently")
+	}
+	if (Spec{Kind: "optimize", Budget: 40}).Fingerprint("v1") == oa {
+		t.Fatal("different optimize budget, same fingerprint")
+	}
+	if (Spec{Kind: "run", Budget: 40}).Fingerprint("v1") != (Spec{Kind: "run"}).Fingerprint("v1") {
+		t.Fatal("budget is irrelevant to run but changed its fingerprint")
 	}
 }
 

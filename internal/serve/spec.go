@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machines"
+	"repro/internal/optimize"
 	"repro/internal/protocols/recovery"
 )
 
@@ -49,7 +50,7 @@ import (
 // fingerprint — and therefore memoize and coalesce — identically.
 type Spec struct {
 	// Kind is the experiment mode: "run", "table", "faults", "soak",
-	// "lint", "profile", or "machines".
+	// "lint", "profile", "machines", or "optimize".
 	Kind string `json:"kind"`
 	// Stack selects the protocol stack: "tcpip" (default) or "rpc".
 	Stack string `json:"stack,omitempty"`
@@ -75,11 +76,15 @@ type Spec struct {
 	// (0 keeps the quality default).
 	SoakBatches    int `json:"soak_batches,omitempty"`
 	SoakRoundtrips int `json:"soak_roundtrips,omitempty"`
-	// Models is the machine-model selection for "machines": "all"
-	// (default) or a comma-separated list of matrix names. The machines
-	// land in the canonical spec, so two selections that sweep different
-	// hardware fingerprint — and memoize — separately.
+	// Models is the machine-model selection for "machines" and
+	// "optimize": "all" (default) or a comma-separated list of matrix
+	// names. The machines land in the canonical spec, so two selections
+	// that sweep different hardware fingerprint — and memoize —
+	// separately.
 	Models string `json:"models,omitempty"`
+	// Budget is the annealing steps per machine for "optimize" (0 keeps
+	// the search default).
+	Budget int `json:"budget,omitempty"`
 	// TimeoutMS bounds the job's execution (0 = the daemon default). A
 	// deadline is an execution detail, not a semantic input, so it is
 	// excluded from the fingerprint.
@@ -127,36 +132,36 @@ func (s Spec) Normalized() Spec {
 			s.Samples = 3
 		}
 		s.Table, s.Seed, s.Rates, s.Top = 0, 0, "", 0
-		s.SoakBatches, s.SoakRoundtrips, s.Models = 0, 0, ""
+		s.SoakBatches, s.SoakRoundtrips, s.Models, s.Budget = 0, 0, "", 0
 	case "table":
 		s.Version, s.Samples, s.Policy = "", 0, ""
 		s.Seed, s.Rates, s.Top = 0, "", 0
-		s.SoakBatches, s.SoakRoundtrips, s.Models = 0, 0, ""
+		s.SoakBatches, s.SoakRoundtrips, s.Models, s.Budget = 0, 0, "", 0
 	case "faults":
 		if s.Seed == 0 {
 			s.Seed = 1
 		}
 		s.Version, s.Samples, s.Policy, s.Table, s.Top = "", 0, "", 0, 0
-		s.SoakBatches, s.SoakRoundtrips, s.Models = 0, 0, ""
+		s.SoakBatches, s.SoakRoundtrips, s.Models, s.Budget = 0, 0, "", 0
 	case "soak":
 		if s.Seed == 0 {
 			s.Seed = 1
 		}
 		s.Version, s.Samples, s.Policy, s.Table = "", 0, "", 0
-		s.Rates, s.Top, s.Models = "", 0, ""
+		s.Rates, s.Top, s.Models, s.Budget = "", 0, "", 0
 	case "lint":
 		// Lint is static: neither quality nor any run parameter matters.
 		s.Quality = "quick"
 		s.Version, s.Samples, s.Policy, s.Table = "", 0, "", 0
 		s.Seed, s.Rates, s.Top = 0, "", 0
-		s.SoakBatches, s.SoakRoundtrips, s.Models = 0, 0, ""
+		s.SoakBatches, s.SoakRoundtrips, s.Models, s.Budget = 0, 0, "", 0
 	case "profile":
 		if s.Top <= 0 {
 			s.Top = 10
 		}
 		s.Version, s.Samples, s.Policy, s.Table = "", 0, "", 0
 		s.Seed, s.Rates = 0, ""
-		s.SoakBatches, s.SoakRoundtrips, s.Models = 0, 0, ""
+		s.SoakBatches, s.SoakRoundtrips, s.Models, s.Budget = 0, 0, "", 0
 	case "machines":
 		if s.Seed == 0 {
 			s.Seed = 1
@@ -169,7 +174,22 @@ func (s Spec) Normalized() Spec {
 			s.Models = "all"
 		}
 		s.Version, s.Samples, s.Policy, s.Table, s.Top = "", 0, "", 0, 0
-		s.SoakBatches, s.SoakRoundtrips = 0, 0
+		s.SoakBatches, s.SoakRoundtrips, s.Budget = 0, 0, 0
+	case "optimize":
+		if s.Seed == 0 {
+			s.Seed = 1
+		}
+		if s.Budget <= 0 {
+			// The default budget is part of the canonical spec: a request
+			// that spells it out fingerprints like one that relies on it.
+			s.Budget = optimize.DefaultBudget
+		}
+		s.Models = strings.ReplaceAll(strings.ToLower(s.Models), " ", "")
+		if s.Models == "" {
+			s.Models = "all"
+		}
+		s.Version, s.Samples, s.Policy, s.Table, s.Top = "", 0, "", 0, 0
+		s.Rates, s.SoakBatches, s.SoakRoundtrips = "", 0, 0
 	}
 	return s
 }
@@ -178,11 +198,11 @@ func (s Spec) Normalized() Spec {
 // first offending field.
 func (s Spec) Validate() error {
 	switch s.Kind {
-	case "run", "table", "faults", "soak", "lint", "profile", "machines":
+	case "run", "table", "faults", "soak", "lint", "profile", "machines", "optimize":
 	case "":
-		return &SpecError{Field: "kind", Msg: "required (run, table, faults, soak, lint, profile, machines)"}
+		return &SpecError{Field: "kind", Msg: "required (run, table, faults, soak, lint, profile, machines, optimize)"}
 	default:
-		return &SpecError{Field: "kind", Msg: fmt.Sprintf("unknown kind %q (want run, table, faults, soak, lint, profile, machines)", s.Kind)}
+		return &SpecError{Field: "kind", Msg: fmt.Sprintf("unknown kind %q (want run, table, faults, soak, lint, profile, machines, optimize)", s.Kind)}
 	}
 	if s.Stack != "tcpip" && s.Stack != "rpc" {
 		return &SpecError{Field: "stack", Msg: fmt.Sprintf("unknown stack %q (want tcpip or rpc)", s.Stack)}
@@ -216,6 +236,10 @@ func (s Spec) Validate() error {
 			if _, err := parseRates(s.Rates); err != nil {
 				return &SpecError{Field: "rates", Msg: err.Error()}
 			}
+		}
+	case "optimize":
+		if _, err := machines.Select(s.Models); err != nil {
+			return &SpecError{Field: "models", Msg: err.Error()}
 		}
 	}
 	return nil

@@ -1,8 +1,6 @@
 package verify
 
 import (
-	"sort"
-
 	"repro/internal/arch"
 	"repro/internal/code"
 )
@@ -53,12 +51,6 @@ type Report struct {
 	Conflicts []SetConflict
 }
 
-// lintRef is one static i-cache block reference on the latency path.
-type lintRef struct {
-	blk uint64
-	fn  string
-}
-
 // maxLintDepth bounds library-call expansion.
 const maxLintDepth = 32
 
@@ -75,203 +67,14 @@ const maxLintDepth = 32
 // eviction-and-refetch conflicts, the number the layout strategies exist
 // to minimise, not the path's sheer size. The program must already be
 // placed and linked; Lint does not verify it (run Program first).
+//
+// Lint is the cost engine's unweighted face: it runs Cost with the zero
+// frequency model and returns the plain miss-count Report, so the two can
+// never disagree on a count.
 func Lint(p *code.Program, spec PathSpec, m arch.Machine) (*Report, error) {
-	g := NewGeometry(m)
-	ib := uint64(m.InstrBytes)
-
-	inLibrary := make(map[string]bool, len(spec.Library))
-	for _, n := range spec.Library {
-		inLibrary[n] = true
+	c, err := Cost(p, CostSpec{PathSpec: spec}, m)
+	if err != nil {
+		return nil, err
 	}
-	inPath := make(map[string]bool, len(spec.Path))
-	for _, n := range spec.Path {
-		inPath[n] = true
-	}
-
-	// Expand the static reference sequence. Hot blocks only: the lint
-	// models the fast path, and outlined error blocks are exactly the code
-	// the path does not fetch. Calls from one path function to the next are
-	// not expanded — the path list already orders them — but calls into
-	// library helpers are, at the call site, because that is where their
-	// blocks are fetched; after each expanded call the caller's block is
-	// fetched again, because execution returns into its middle. That
-	// return-site refetch is the reference an aliasing layout turns into a
-	// replacement miss.
-	var refs []lintRef
-	var expand func(name string, depth int) error
-	expand = func(name string, depth int) error {
-		if depth > maxLintDepth {
-			return errf(ReasonRecursion, name, "", "library expansion exceeds depth %d", maxLintDepth)
-		}
-		f := p.Func(name)
-		if f == nil {
-			return errf(ReasonUnresolvedCall, name, "", "path spec names unknown function")
-		}
-		pl := p.Placement(name)
-		if pl == nil {
-			return errf(ReasonUnplacedFunc, name, "", "path function has no placement")
-		}
-		for _, b := range f.Blocks {
-			if b.Kind.Outlinable() {
-				continue
-			}
-			addr, size, err := pl.BlockSpan(b.Label)
-			if err != nil {
-				return err
-			}
-			span := g.SpanBlocks(addr, addr+uint64(size)*ib)
-			emit := func() {
-				for _, bn := range span {
-					refs = append(refs, lintRef{blk: bn, fn: name})
-				}
-			}
-			emit()
-			for _, in := range b.Instrs {
-				if in.Call == "" || in.CallLoad || !inLibrary[in.Call] {
-					continue
-				}
-				if err := expand(in.Call, depth+1); err != nil {
-					return err
-				}
-				emit()
-			}
-		}
-		return nil
-	}
-	for _, name := range spec.Path {
-		if err := expand(name, 0); err != nil {
-			return nil, err
-		}
-	}
-
-	rep := &Report{}
-
-	// Distinct footprint and per-set occupancy.
-	distinct := map[uint64]bool{}
-	setBlocks := map[int]map[uint64]bool{}
-	setFuncs := map[int]map[string]bool{}
-	for _, r := range refs {
-		distinct[r.blk] = true
-		s := int(r.blk & g.setMask)
-		if setBlocks[s] == nil {
-			setBlocks[s] = map[uint64]bool{}
-			setFuncs[s] = map[string]bool{}
-		}
-		setBlocks[s][r.blk] = true
-		setFuncs[s][r.fn] = true
-	}
-	rep.PathBlocks = len(distinct)
-
-	// One traversal through the per-set LRU model, with the simulator's
-	// replacement policy (MRU at index 0) and its miss taxonomy: the first
-	// miss on a block is its cold fetch, a later miss on the same block is
-	// a replacement miss — the block was evicted by a conflicting one and
-	// had to be fetched again.
-	ways := make(map[int][]uint64, len(setBlocks))
-	seen := map[uint64]bool{}
-	replBySet := map[int]int{}
-	for _, r := range refs {
-		s := int(r.blk & g.setMask)
-		w := ways[s]
-		hit := -1
-		for i, bn := range w {
-			if bn == r.blk {
-				hit = i
-				break
-			}
-		}
-		if hit >= 0 {
-			copy(w[1:hit+1], w[:hit])
-			w[0] = r.blk
-			continue
-		}
-		if seen[r.blk] {
-			rep.PredictedRepl++
-			replBySet[s]++
-		}
-		seen[r.blk] = true
-		if len(w) < g.Assoc {
-			w = append(w, 0)
-		}
-		copy(w[1:], w)
-		w[0] = r.blk
-		ways[s] = w
-	}
-
-	// Partition violations: a set holding hot code of both classes.
-	for _, fns := range setFuncs {
-		var hasPath, hasLib bool
-		for fn := range fns {
-			if p.Func(fn).Class == code.ClassLibrary {
-				hasLib = true
-			} else {
-				hasPath = true
-			}
-		}
-		if hasPath && hasLib {
-			rep.PartitionViolations++
-		}
-	}
-
-	// Hot/cold interleave: walk every spec'd function's blocks in placed
-	// address order and count kind transitions beyond the single hot→cold
-	// boundary a clean outlining leaves.
-	type placedKind struct {
-		addr uint64
-		cold bool
-	}
-	var order []placedKind
-	for _, name := range append(append([]string(nil), spec.Path...), spec.Library...) {
-		f := p.Func(name)
-		if f == nil {
-			continue
-		}
-		pl := p.Placement(name)
-		if pl == nil {
-			return nil, errf(ReasonUnplacedFunc, name, "", "path function has no placement")
-		}
-		for _, b := range f.Blocks {
-			addr, size, err := pl.BlockSpan(b.Label)
-			if err != nil {
-				return nil, err
-			}
-			if size == 0 {
-				continue
-			}
-			order = append(order, placedKind{addr: addr, cold: b.Kind.Outlinable()})
-		}
-	}
-	sort.Slice(order, func(i, j int) bool { return order[i].addr < order[j].addr })
-	flips := 0
-	for i := 1; i < len(order); i++ {
-		if order[i].cold != order[i-1].cold {
-			flips++
-		}
-	}
-	if flips > 1 {
-		rep.HotColdInterleave = flips - 1
-	}
-
-	// Conflict list, worst set first.
-	for s, n := range replBySet {
-		var fns []string
-		for fn := range setFuncs[s] {
-			fns = append(fns, fn)
-		}
-		sort.Strings(fns)
-		rep.Conflicts = append(rep.Conflicts, SetConflict{
-			Set:        s,
-			Blocks:     len(setBlocks[s]),
-			ReplMisses: n,
-			Funcs:      fns,
-		})
-	}
-	sort.Slice(rep.Conflicts, func(i, j int) bool {
-		a, b := rep.Conflicts[i], rep.Conflicts[j]
-		if a.ReplMisses != b.ReplMisses {
-			return a.ReplMisses > b.ReplMisses
-		}
-		return a.Set < b.Set
-	})
-	return rep, nil
+	return &c.Report, nil
 }

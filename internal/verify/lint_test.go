@@ -5,6 +5,9 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/code"
+	"repro/internal/core"
+	"repro/internal/machines"
+	"repro/internal/protocols/features"
 	"repro/internal/verify"
 )
 
@@ -113,5 +116,69 @@ func TestLintRejectsBrokenSpec(t *testing.T) {
 	q.MustAdd(code.NewBuilder("path", code.ClassPath).ALU(4).Ret().MustBuild())
 	if _, err := verify.Lint(q, verify.PathSpec{Path: []string{"path"}}, m); err == nil {
 		t.Fatal("unplaced program accepted")
+	}
+}
+
+// TestLintTracksProfilerAcrossGeometries cross-checks the static per-set
+// predictions against the dynamic profiler on the non-baseline geometries
+// of the machine matrix: a longer line (line128), high associativity
+// (l1-8way), and a victim buffer (victim8), each over the ALL image built
+// for that geometry.
+//
+// Documented tolerance: the lint replays a denser reference stream than
+// the traced invocation (it expands every library call at each call site
+// and re-emits the caller block after each call), so it may over-predict
+// where associativity absorbs the extra pressure. The two must agree
+// within one replacement miss per cache set in aggregate
+// (sum |pred - meas| <= number of sets) and within four on any single set.
+func TestLintTracksProfilerAcrossGeometries(t *testing.T) {
+	for _, name := range []string{"line128", "l1-8way", "victim8"} {
+		t.Run(name, func(t *testing.T) {
+			model, err := machines.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := model.Machine
+			prog, err := core.BuildProgram(core.StackTCPIP, core.ALL, features.Improved(), core.Bipartite, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := verify.Lint(prog, core.LintSpec(core.StackTCPIP, core.ALL), m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := core.DefaultConfig(core.StackTCPIP, core.ALL)
+			cfg.Machine = m
+			cfg.Profile = true
+			cfg.Warmup, cfg.Measured, cfg.Samples = 4, 12, 1
+			res, err := core.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prof := res.First().Profile
+			if prof == nil {
+				t.Fatal("no profile")
+			}
+			pred := map[int]int{}
+			for _, c := range rep.Conflicts {
+				pred[c.Set] = c.ReplMisses
+			}
+			nsets := len(prof.Sets)
+			total := 0
+			for s := 0; s < nsets; s++ {
+				d := pred[s] - int(prof.Sets[s].ReplMisses)
+				if d < 0 {
+					d = -d
+				}
+				if d > 4 {
+					t.Errorf("set %d: predicted %d vs measured %d replacement misses (tolerance 4)",
+						s, pred[s], prof.Sets[s].ReplMisses)
+				}
+				total += d
+			}
+			if total > nsets {
+				t.Errorf("aggregate per-set disagreement %d exceeds one miss per set (%d sets)", total, nsets)
+			}
+		})
 	}
 }

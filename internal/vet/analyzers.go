@@ -14,7 +14,7 @@ import (
 // core, where results must be a pure function of the configuration: any
 // wall-clock or ambient-randomness read there breaks reproducibility.
 func deterministicPkg(path string) bool {
-	for _, sub := range []string{"internal/sim", "internal/code", "internal/core", "internal/soak"} {
+	for _, sub := range []string{"internal/sim", "internal/code", "internal/core", "internal/soak", "internal/optimize"} {
 		if strings.Contains(path, sub) {
 			return true
 		}
@@ -194,6 +194,59 @@ func outputSink(p *Package, call *ast.CallExpr) string {
 		return s[strings.LastIndex(s, "/")+1:] + "." + sel.Sel.Name
 	}
 	return ""
+}
+
+// fsMutators names the os-package calls that durably mutate the
+// filesystem; routing them through a storage.FS is what makes journals and
+// stores fault-injectable and crash-enumerable.
+var fsMutators = map[string]bool{"WriteFile": true, "Rename": true, "Remove": true}
+
+// analyzerFSSeam enforces the storage seam: outside internal/storage (the
+// seam's one implementation site), durable filesystem mutation must go
+// through an injected storage.FS, never the os package directly. A direct
+// os.WriteFile in, say, the daemon would dodge both the fault layer and
+// the crash-point enumerator — the write would be untestable for exactly
+// the failures the storage layer exists to exercise.
+var analyzerFSSeam = &Analyzer{
+	Name: "fsseam",
+	Doc:  "no direct os.WriteFile/Rename/Remove or (*os.File).Sync outside internal/storage",
+	Run: func(p *Package) []Diagnostic {
+		if strings.Contains(p.Path, "internal/storage") {
+			return nil
+		}
+		var out []Diagnostic
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if pkgOf(p, sel) == "os" && fsMutators[sel.Sel.Name] {
+					out = append(out, Diagnostic{
+						Pos:      p.Fset.Position(sel.Pos()),
+						Analyzer: "fsseam",
+						Message:  "os." + sel.Sel.Name + " bypasses the storage seam; write through a storage.FS",
+					})
+					return true
+				}
+				if sel.Sel.Name == "Sync" {
+					if t := p.Info.Types[sel.X].Type; t != nil && t.String() == "*os.File" {
+						out = append(out, Diagnostic{
+							Pos:      p.Fset.Position(sel.Pos()),
+							Analyzer: "fsseam",
+							Message:  "(*os.File).Sync bypasses the storage seam; sync through a storage.FS",
+						})
+					}
+				}
+				return true
+			})
+		}
+		return out
+	},
 }
 
 // ptrVerb matches the %p conversion, with any flags or width, in a format

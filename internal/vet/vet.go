@@ -1,9 +1,11 @@
 // Package vet is a project-specific static checker for the determinism
-// invariants this repository's results depend on: simulations must not read
-// wall-clock time or ambient randomness, reports must not let Go's
-// randomized map iteration order reach their output, and formatted output
-// must not embed pointer values. The standard toolchain cannot know these
-// rules; cmd/protovet runs them as part of `make check`.
+// and seam invariants this repository's results depend on: simulations
+// must not read wall-clock time or ambient randomness, reports must not
+// let Go's randomized map iteration order reach their output, formatted
+// output must not embed pointer values, and durable filesystem writes
+// outside internal/storage must go through the fault-injectable
+// storage.FS seam. The standard toolchain cannot know these rules;
+// cmd/protovet runs them as part of `make check`.
 //
 // The checker is self-contained: it loads and type-checks the module with
 // the standard library's go/* packages only, so it runs in the same
@@ -60,7 +62,7 @@ type Analyzer struct {
 
 // Analyzers returns the full rule set in a fixed order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{analyzerNowRand, analyzerMapRange, analyzerPtrFmt}
+	return []*Analyzer{analyzerNowRand, analyzerMapRange, analyzerPtrFmt, analyzerFSSeam}
 }
 
 // RunAnalyzers applies every analyzer to every package and returns all

@@ -131,6 +131,49 @@ func describe(v *int) (string, string) {
 `), "ptrfmt")
 }
 
+const fsSeamSrc = `package fake
+
+import "os"
+
+func persist(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	f, err := os.Open(tmp)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+func read(path string) ([]byte, error) { return os.ReadFile(path) } // reads are fine
+`
+
+func TestFSSeamOutsideStorage(t *testing.T) {
+	diags := run(t, "repro/internal/serve/fake", fsSeamSrc)
+	wantFindings(t, diags, "fsseam", "fsseam", "fsseam", "fsseam")
+	if !strings.Contains(diags[0].Message, "os.WriteFile") {
+		t.Errorf("message %q does not name the call", diags[0].Message)
+	}
+	if !strings.Contains(diags[1].Message, "(*os.File).Sync") {
+		t.Errorf("message %q does not name the Sync method", diags[1].Message)
+	}
+}
+
+func TestFSSeamExemptInStorage(t *testing.T) {
+	// internal/storage is the seam's one implementation site: the DiskFS
+	// there is exactly where the os calls are supposed to live.
+	wantFindings(t, run(t, "repro/internal/storage/fake", fsSeamSrc))
+}
+
 // TestModuleSelfClean loads the whole repository through the production
 // loader and requires every analyzer to come back clean — the same gate
 // `make check` runs via cmd/protovet.

@@ -33,6 +33,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/machines"
 	"repro/internal/obs"
+	"repro/internal/optimize"
 	"repro/internal/protocols/recovery"
 	"repro/internal/serve"
 	"repro/internal/soak"
@@ -459,6 +460,53 @@ var (
 	LintStudyDocOf  = core.LintStudyDocOf
 )
 
+// Layout search (see internal/optimize): the static layout cost engine
+// (verify.Cost) drives a deterministic search — greedy chain stitching
+// plus simulated annealing — over function order and padding of the ALL
+// image. Every candidate must pass well-formedness and a strict move-only
+// equivalence proof before it is scored, and the winners are confirmed by
+// full simulation against the hand bipartite baseline.
+type (
+	// OptimizeConfig parameterizes one layout search (stack, machines,
+	// seed, annealing budget, confirmation quality).
+	OptimizeConfig = optimize.Config
+	// OptimizeMachineResult is the search outcome for one machine model:
+	// hand baseline, proof-gate counters, and confirmed candidates.
+	OptimizeMachineResult = optimize.MachineResult
+	// OptimizeCandidate is one searched placement that passed both proofs
+	// and was confirmed by full simulation.
+	OptimizeCandidate = optimize.Candidate
+)
+
+// DefaultOptimize returns the standard search configuration for a stack:
+// the full machine matrix, the default budget, and the machine study's
+// confirmation quality.
+func DefaultOptimize(kind StackKind, seed uint64) OptimizeConfig {
+	return optimize.Default(kind, seed)
+}
+
+// Optimize runs the layout search over every configured machine;
+// RenderOptimize formats the results as the text report `protolat
+// -optimize` prints, OptimizeDocOf as the document's optimize section.
+func Optimize(cfg OptimizeConfig) ([]OptimizeMachineResult, error) { return optimize.Run(cfg) }
+
+// OptimizeCtx is Optimize with cooperative cancellation, consulted between
+// machines and confirmation runs.
+func OptimizeCtx(ctx context.Context, cfg OptimizeConfig) ([]OptimizeMachineResult, error) {
+	return optimize.RunCtx(ctx, cfg)
+}
+
+// Optimize renderers (text and JSON).
+var (
+	RenderOptimize = optimize.Render
+	OptimizeDocOf  = optimize.DocOf
+)
+
+// OptimizeWeightsFromProfile derives the search objective's per-function
+// frequency weights from a dynamic profile document (each function weighs
+// its measured call count), replacing the static usage hints.
+var OptimizeWeightsFromProfile = optimize.WeightsFromProfile
+
 // Experiment daemon (see internal/serve): `protolat -serve` exposes the
 // whole apparatus as a persistent HTTP/JSON service with a bounded
 // journaled job queue, fingerprint-keyed result memoization and request
@@ -508,3 +556,9 @@ type StorageFS = storage.FS
 // StorageFromEnv builds the fault-injecting FS a PROTOLAT_FSFAULT spec
 // describes (nil error and real disk for an empty spec).
 func StorageFromEnv(spec string) (StorageFS, error) { return storage.FromEnv(spec) }
+
+// StorageDisk is the real-disk StorageFS. All durable writes outside
+// internal/storage must go through a StorageFS (the fsseam protovet
+// analyzer enforces it), so command-line code writes artifacts through
+// this instance rather than calling the os package directly.
+var StorageDisk = storage.Disk

@@ -3,7 +3,7 @@
 # public surfaces, vet (toolchain and the repo's own determinism
 # analyzers), build, the full test suite under the race detector (the
 # parallel runner and the fault-injection paths are both exercised), the
-# fixed-seed fault-study, layout-lint, and machine-matrix smoke tests
+# fixed-seed fault-study, layout-lint, layout-search, and machine-matrix smoke tests
 # (clean and fault-regime) with their golden-output diffs, the
 # experiment-daemon smoke tests (memoization, graceful drain, kill -9
 # recovery, injected-ENOSPC degradation), and the CLI documentation drift
@@ -26,7 +26,7 @@ fi
 # Doc-comment gate: every exported top-level declaration in the packages
 # that form the repo's API surface must carry a doc comment.
 undocumented=$(
-	find . internal/core internal/faults internal/layout internal/machines internal/obs internal/storage internal/verify internal/vet \
+	find . internal/core internal/faults internal/layout internal/machines internal/obs internal/optimize internal/storage internal/verify internal/vet \
 		-maxdepth 1 -name '*.go' ! -name '*_test.go' |
 		while read -r f; do
 			awk -v f="$f" '
@@ -52,4 +52,5 @@ go test -race ./...
 ./scripts/lint_smoke.sh
 ./scripts/machines_smoke.sh
 ./scripts/machines_fault_smoke.sh
+./scripts/optimize_smoke.sh
 ./scripts/doc_check.sh

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Layout-search smoke test: run the static-cost-guided placement search on
+# the paper's baseline plus two machines with no hand-derived layout, and
+# diff the report against the checked-in golden. The search is seeded and
+# the simulator deterministic, so the report is exactly reproducible — and
+# it must be byte-identical at any -parallel setting, which this script
+# checks by running the same search serial and 8-wide.
+#
+# Structural gates, independent of the golden bytes:
+#   - every machine's equivalence-proof counter is nonzero (the deliberate
+#     tamper probe must be rejected — a zero counter means the move-only
+#     proof was never exercised);
+#   - on dec3000 the searched layout matches or beats the hand bipartite
+#     ALL layout on measured Tp (the acceptance criterion of the search).
+#
+#   REGEN=1 ./scripts/optimize_smoke.sh   # refresh testdata/optimize_smoke.golden
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+golden=testdata/optimize_smoke.golden
+models=dec3000,future266,line128
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go run ./cmd/protolat -optimize "$models" -seed 1 -budget 150 -parallel 1 > "$tmp/serial.txt"
+go run ./cmd/protolat -optimize "$models" -seed 1 -budget 150 -parallel 8 > "$tmp/parallel.txt"
+
+diff -u "$tmp/serial.txt" "$tmp/parallel.txt" || {
+    echo "FAIL: layout search is not byte-identical at -parallel 1 vs 8" >&2
+    exit 1
+}
+
+awk '
+    /^[a-z0-9-]+ — / {model = $1; machines++}
+    model != "" && /equivalence [0-9]+/ {
+        for (i = 1; i < NF; i++) if ($i == "equivalence") eqc[model] = $(i+1)
+    }
+    model == "dec3000" && /verdict/ {dec_verdict = $0}
+    END {
+        if (machines < 3) { print "FAIL: expected 3 machine sections, saw " machines; exit 1 }
+        for (m in eqc) {
+            if (eqc[m] + 0 < 1) {
+                print "FAIL: " m ": equivalence-proof rejections = " eqc[m] "; the tamper probe must be rejected"
+                exit 1
+            }
+        }
+        if (dec_verdict !~ /matches-or-beats hand/) {
+            print "FAIL: dec3000 verdict is not matches-or-beats: " dec_verdict
+            exit 1
+        }
+    }' "$tmp/serial.txt" || exit 1
+
+grep -q "cand #1" "$tmp/serial.txt" || {
+    echo "FAIL: report has no confirmed candidates" >&2
+    exit 1
+}
+
+if [[ "${REGEN:-0}" = "1" ]]; then
+    mkdir -p testdata
+    cp "$tmp/serial.txt" "$golden"
+    echo "regenerated $golden"
+    exit 0
+fi
+
+diff -u "$golden" "$tmp/serial.txt" || {
+    echo "FAIL: layout-search report drifted from $golden (REGEN=1 to accept)" >&2
+    exit 1
+}
+echo "optimize smoke OK: parallel-identical, tamper probe rejected on every machine, dec3000 matches-or-beats hand, matching golden"
